@@ -1,0 +1,61 @@
+// Command bench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	bench -exp fig2a            # one experiment (see -list)
+//	bench -exp all -full -reps 10
+//
+// Each experiment prints the corresponding table or figure series; see
+// EXPERIMENTS.md for the paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dhsort/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment name, or 'all'")
+		list = flag.Bool("list", false, "list experiments and exit")
+		full = flag.Bool("full", false, "paper-scale parameter sweep (slow)")
+		reps = flag.Int("reps", 3, "repetitions per point (the paper uses 10)")
+		seed = flag.Uint64("seed", 42, "base workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed}
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s: %s\n", e.Name, e.Description)
+		start := time.Now()
+		if err := e.Run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,151 @@
+// Command dhsort sorts a generated workload with the distributed histogram
+// sort and prints timing, phase breakdown and verification results.
+//
+// Usage:
+//
+//	dhsort -p 64 -n 1000000 -dist uniform
+//	dhsort -p 2048 -n 4194304 -model pgas -scale 1024   # virtual SuperMUC time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dhsort"
+	"dhsort/internal/bitonic"
+	"dhsort/internal/comm"
+	"dhsort/internal/hss"
+	"dhsort/internal/hyksort"
+	"dhsort/internal/keys"
+	"dhsort/internal/samplesort"
+	"dhsort/internal/simnet"
+	"dhsort/internal/trace"
+	"dhsort/internal/workload"
+)
+
+func main() {
+	var (
+		p     = flag.Int("p", 8, "number of ranks")
+		n     = flag.Int("n", 1<<20, "total number of keys")
+		dist  = flag.String("dist", "uniform", "distribution: uniform|normal|zipf|nearly-sorted|duplicate-heavy|all-equal")
+		span  = flag.Uint64("span", 1e9, "key span (0 = full uint64 range)")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		eps   = flag.Float64("eps", 0, "load-balance threshold (0 = perfect partitioning)")
+		merge = flag.String("merge", "resort", "local merge: resort|binary-tree|loser-tree|overlap")
+		alg   = flag.String("alg", "dhsort", "algorithm: dhsort|hss|samplesort|hyksort|bitonic")
+		model = flag.String("model", "none", "cost model: none (real time) | pgas | mpi")
+		rpn   = flag.Int("ranks-per-node", 16, "ranks per node for the cost model")
+		scale = flag.Float64("scale", 1, "virtual data-scale multiplier (with a cost model)")
+	)
+	flag.Parse()
+
+	var m *simnet.CostModel
+	switch *model {
+	case "none":
+	case "pgas":
+		m = simnet.SuperMUC(*rpn, true)
+	case "mpi":
+		m = simnet.SuperMUC(*rpn, false)
+	default:
+		fmt.Fprintf(os.Stderr, "dhsort: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	var ms dhsort.MergeStrategy
+	switch *merge {
+	case "resort":
+		ms = dhsort.MergeResort
+	case "binary-tree":
+		ms = dhsort.MergeBinaryTree
+	case "loser-tree":
+		ms = dhsort.MergeLoserTree
+	case "overlap":
+		ms = dhsort.MergeOverlap
+	default:
+		fmt.Fprintf(os.Stderr, "dhsort: unknown merge strategy %q\n", *merge)
+		os.Exit(2)
+	}
+
+	w, err := comm.NewWorld(*p, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhsort:", err)
+		os.Exit(1)
+	}
+	recs := make([]*trace.Recorder, *p)
+	verified := true
+	var mu sync.Mutex
+	wall := time.Now()
+	err = w.Run(func(c *comm.Comm) error {
+		spec := workload.Spec{Dist: workload.Distribution(*dist), Seed: *seed, Span: *span}
+		local, err := spec.Rank(c.Rank(), workload.LocalSize(*n, *p, c.Rank()))
+		if err != nil {
+			return err
+		}
+		rec := trace.NewRecorder(c.Clock())
+		var out []uint64
+		switch *alg {
+		case "dhsort":
+			out, err = dhsort.Sort(c, local, dhsort.Uint64Ops, dhsort.Config{
+				Epsilon: *eps, Merge: ms, VirtualScale: *scale, Recorder: rec,
+			})
+		case "hss":
+			out, err = hss.Sort(c, local, keys.Uint64{}, hss.Config{
+				Epsilon: *eps, VirtualScale: *scale, Recorder: rec, Seed: *seed,
+			})
+		case "samplesort":
+			out, err = samplesort.Sort(c, local, keys.Uint64{}, samplesort.Config{
+				VirtualScale: *scale, Recorder: rec, Seed: *seed,
+			})
+		case "hyksort":
+			out, err = hyksort.Sort(c, local, keys.Uint64{}, hyksort.Config{
+				VirtualScale: *scale, Recorder: rec,
+			})
+		case "bitonic":
+			out, err = bitonic.Sort(c, local, keys.Uint64{}, bitonic.Config{
+				VirtualScale: *scale, Recorder: rec,
+			})
+		default:
+			return fmt.Errorf("unknown algorithm %q", *alg)
+		}
+		if err != nil {
+			return err
+		}
+		ok := dhsort.IsGloballySorted(c, out, dhsort.Uint64Ops)
+		perfect := *alg == "dhsort" || *alg == "hss"
+		mu.Lock()
+		recs[c.Rank()] = rec
+		verified = verified && ok && (!perfect || *eps > 0 || len(out) == len(local))
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhsort:", err)
+		os.Exit(1)
+	}
+
+	elapsed := time.Since(wall)
+	s := trace.Summarize(recs)
+	fmt.Printf("sorted %d %s keys on %d ranks (alg=%s, eps=%v, merge=%s)\n", *n, *dist, *p, *alg, *eps, *merge)
+	if m != nil {
+		fmt.Printf("virtual makespan: %v (SuperMUC model, %d ranks/node, scale x%g; wall %v)\n",
+			w.Makespan().Round(time.Microsecond), *rpn, *scale, elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("wall time: %v\n", elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("histogram iterations: %d\n", s.MaxIterations)
+	fmt.Println("phase breakdown (mean across ranks):")
+	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
+		fmt.Printf("  %-10s %8v  %5.1f%%\n", ph, s.Times[ph].Round(time.Microsecond), 100*s.Fraction(ph))
+	}
+	st := w.TotalStats()
+	fmt.Printf("communication: %d messages, %.2f MiB total, %.2f MiB cross-node\n",
+		st.TotalMessages(), float64(st.TotalBytes())/(1<<20), float64(st.NetworkBytes())/(1<<20))
+	if verified {
+		fmt.Println("verification: globally sorted, partition sizes OK")
+	} else {
+		fmt.Println("verification: FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,196 @@
+// Package dhsort is a distributed histogram sort: a Go reproduction of
+// "Engineering a Distributed Histogram Sort" (Kowalewski, Jungblut,
+// Fürlinger — IEEE CLUSTER 2019).
+//
+// The library sorts a sequence partitioned across P ranks.  Ranks are
+// goroutines inside one process, communicating through an MPI-like runtime
+// with tag-matched point-to-point messages and tree/recursive-doubling
+// collectives.  Execution is either in real time or — when given a network
+// cost model — against deterministic per-rank virtual clocks, which is how
+// the paper's 3584-core scaling studies are reproduced on a single machine.
+//
+// # Quick start
+//
+//	cfg := dhsort.Config{}              // perfect partitioning, ε = 0
+//	err := dhsort.Run(8, nil, func(c *dhsort.Comm) error {
+//		local := loadMyShare(c.Rank()) // []uint64
+//		sorted, err := dhsort.Sort(c, local, dhsort.Uint64Ops, cfg)
+//		// sorted is this rank's partition of the global order and has
+//		// exactly len(local) elements.
+//		return err
+//	})
+//
+// The algorithm makes no assumptions about the key distribution, the rank
+// count (no power-of-two requirement), or the input partitioning (ranks may
+// be empty).  Every element moves across the network exactly once.
+//
+// NthElement exposes the underlying distributed selection (Algorithm 1 of
+// the paper) for order-statistic queries without sorting.
+package dhsort
+
+import (
+	"time"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/core"
+	"dhsort/internal/garray"
+	"dhsort/internal/keys"
+	"dhsort/internal/simnet"
+	"dhsort/internal/trace"
+)
+
+// Comm is one rank's communicator handle; see Run.
+type Comm = comm.Comm
+
+// World hosts the ranks of one collective execution.
+type World = comm.World
+
+// Config tunes a distributed sort; the zero value requests perfect
+// partitioning with the re-sort merge strategy, matching the paper's
+// evaluated configuration.
+type Config = core.Config
+
+// MergeStrategy selects the Local Merge algorithm (§V-C of the paper).
+type MergeStrategy = core.MergeStrategy
+
+// The available merge strategies.
+const (
+	// MergeResort re-sorts the received runs (the paper's default).
+	MergeResort = core.MergeResort
+	// MergeBinaryTree merges runs pairwise.
+	MergeBinaryTree = core.MergeBinaryTree
+	// MergeLoserTree merges runs through a tournament tree.
+	MergeLoserTree = core.MergeLoserTree
+	// MergeOverlap fuses the exchange with merging (§VI-E1 of the paper).
+	MergeOverlap = core.MergeOverlap
+)
+
+// CostModel prices communication and computation for virtual-time
+// execution; nil means real time.
+type CostModel = simnet.CostModel
+
+// Recorder captures per-rank phase timings (see Config.Recorder).
+type Recorder = trace.Recorder
+
+// SuperMUCModel returns the cost model of the paper's evaluation machine
+// (SuperMUC Phase 2, Table I).  ranksPerNode is 16 or 28 in the paper;
+// pgas selects MPI-3 shared-memory-window pricing for intra-node traffic.
+func SuperMUCModel(ranksPerNode int, pgas bool) *CostModel {
+	return simnet.SuperMUC(ranksPerNode, pgas)
+}
+
+// Key operations for the built-in key types.  Pass one of these (or any
+// other keys.Ops implementation) to Sort and NthElement.
+var (
+	// Uint64Ops sorts uint64 keys.
+	Uint64Ops = keys.Uint64{}
+	// Int64Ops sorts int64 keys.
+	Int64Ops = keys.Int64{}
+	// Float64Ops sorts float64 keys in IEEE-754 total order.
+	Float64Ops = keys.Float64{}
+	// Uint32Ops sorts uint32 keys.
+	Uint32Ops = keys.Uint32{}
+	// Int32Ops sorts int32 keys.
+	Int32Ops = keys.Int32{}
+	// Float32Ops sorts float32 keys.
+	Float32Ops = keys.Float32{}
+	// StringOps sorts string keys lexicographically.  Order is always
+	// exact; perfect partitioning is exact up to runs of distinct keys
+	// sharing a 16-byte prefix (see keys.String).
+	StringOps = keys.String{}
+)
+
+// Run executes fn once per rank on a fresh world of p ranks and waits for
+// completion.  model selects virtual-time execution (nil = real time).
+// Errors and panics from any rank abort the world and are joined into the
+// returned error.
+func Run(p int, model *CostModel, fn func(c *Comm) error) error {
+	w, err := comm.NewWorld(p, model)
+	if err != nil {
+		return err
+	}
+	return w.Run(fn)
+}
+
+// RunTimed is Run, additionally returning the execution makespan: the
+// maximum per-rank virtual completion time under a cost model, or the
+// slowest rank's wall-clock time without one.
+func RunTimed(p int, model *CostModel, fn func(c *Comm) error) (time.Duration, error) {
+	w, err := comm.NewWorld(p, model)
+	if err != nil {
+		return 0, err
+	}
+	err = w.Run(fn)
+	return w.Makespan(), err
+}
+
+// Sort sorts the distributed sequence whose share on this rank is local and
+// returns this rank's partition of the global order.  Collective: every
+// rank of c must call it with a consistent cfg.  See core.Sort for the
+// full contract.
+func Sort[K any](c *Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	return core.Sort(c, local, ops, cfg)
+}
+
+// NthElement returns the k-th smallest element (0-based) of the distributed
+// sequence on every rank without sorting it — the dash::nth_element
+// building block (Algorithm 1 of the paper).  Collective.
+func NthElement[K any](c *Comm, local []K, k int64, ops keys.Ops[K]) (K, error) {
+	return core.DSelect(c, local, k, ops, Config{})
+}
+
+// Ops supplies ordering and splitter-bisection operations for key type K;
+// see the built-in instances (Uint64Ops, Float64Ops, ...) and keys.Ops for
+// the contract.
+type Ops[K any] = keys.Ops[K]
+
+// Pair is a sortable record: a key plus opaque satellite data.
+type Pair[K, V any] = keys.Pair[K, V]
+
+// PairOps returns Ops for Pair records ordered by key, so satellite data
+// travels with its key through the sort.
+func PairOps[K, V any](base Ops[K]) Ops[Pair[K, V]] {
+	return keys.NewPairOps[K, V](base)
+}
+
+// Plan is a partitioning decision computed without moving data; see
+// MakePlan.
+type Plan[K any] = core.Plan[K]
+
+// MakePlan runs splitter determination and boundary refinement only,
+// returning the exchange plan (splitters, per-rank cuts, send counts) with
+// all data left in place — for applications that relocate their own
+// payloads.  Collective.
+func MakePlan[K any](c *Comm, local []K, ops Ops[K], cfg Config) (Plan[K], error) {
+	return core.MakePlan(c, local, ops, cfg)
+}
+
+// ExecutePlan relocates a satellite slice according to a plan from
+// MakePlan; see core.ExecutePlan for the ordering contract.  Collective.
+func ExecutePlan[K, V any](c *Comm, pl Plan[K], values []V, cfg Config) ([]V, error) {
+	return core.ExecutePlan(c, pl, values, cfg)
+}
+
+// Quantiles returns q-1 cut values splitting the distributed sequence into
+// q equal-count buckets (an equi-depth histogram) without moving data.
+// Collective.
+func Quantiles[K any](c *Comm, local []K, q int, ops Ops[K]) ([]K, error) {
+	return core.Quantiles(c, local, q, ops, Config{})
+}
+
+// GlobalArray is a PGAS-style block-distributed array with one-sided
+// access and container-level Sort/NthElement/Quantiles — the DASH
+// abstraction of the paper; see the garray package for the access rules.
+type GlobalArray[K any] = garray.GlobalArray[K]
+
+// NewGlobalArray collectively allocates a distributed array with the given
+// local partition size on this rank; elemBytes prices remote accesses.
+func NewGlobalArray[K any](c *Comm, localSize, elemBytes int) (*GlobalArray[K], error) {
+	return garray.New[K](c, localSize, elemBytes)
+}
+
+// IsGloballySorted collectively verifies the sorted-output invariant and
+// returns the verdict on every rank.
+func IsGloballySorted[K any](c *Comm, local []K, ops keys.Ops[K]) bool {
+	return core.IsGloballySorted(c, local, ops)
+}

@@ -1,0 +1,74 @@
+// Nthelement: distributed order statistics without sorting — the
+// dash::nth_element building block the paper derives its splitter search
+// from (Algorithm 1, §IV).
+//
+// A fleet of ranks each holds a shard of latency samples; the program
+// computes the global median and tail percentiles with O(log P)
+// communication rounds and no data movement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"dhsort"
+	"dhsort/internal/prng"
+)
+
+func main() {
+	const (
+		ranks   = 16
+		perRank = 200000
+		total   = int64(ranks * perRank)
+	)
+	quantiles := []struct {
+		name string
+		k    int64
+	}{
+		{"p50", total / 2},
+		{"p90", total * 90 / 100},
+		{"p99", total * 99 / 100},
+		{"p99.9", total * 999 / 1000},
+		{"max", total - 1},
+	}
+
+	values := make([]float64, len(quantiles))
+	var once sync.Once
+
+	err := dhsort.Run(ranks, nil, func(c *dhsort.Comm) error {
+		// Synthetic latency shard: lognormal-ish body with a heavy tail.
+		src := prng.NewMT19937_64(uint64(c.Rank()) + 7)
+		norm := &prng.Normal{Src: src}
+		local := make([]float64, perRank)
+		for i := range local {
+			ms := 5.0 + 2.0*norm.Next()*norm.Next() // squared normal: skewed
+			if ms < 0.1 {
+				ms = 0.1
+			}
+			if prng.Uint64n(src, 1000) == 0 {
+				ms *= 50 // rare slow requests
+			}
+			local[i] = ms
+		}
+
+		got := make([]float64, len(quantiles))
+		for i, q := range quantiles {
+			v, err := dhsort.NthElement(c, local, q.k, dhsort.Float64Ops)
+			if err != nil {
+				return err
+			}
+			got[i] = v
+		}
+		once.Do(func() { copy(values, got) }) // identical on every rank
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("latency percentiles over %d samples on %d ranks (no sort, no data movement):\n", total, ranks)
+	for i, q := range quantiles {
+		fmt.Printf("  %-6s %8.2f ms\n", q.name, values[i])
+	}
+}

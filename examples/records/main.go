@@ -1,0 +1,80 @@
+// Records: sort structured records by key with satellite data — the
+// std::sort-on-structs use case of the paper's STL-like interface, here as
+// a distributed merge of per-service event logs into one global timeline.
+//
+// Each rank holds the (unsorted) event log of one service.  Sorting
+// (timestamp, payload) records produces a globally time-ordered log,
+// perfectly partitioned across the ranks, with every payload still attached
+// to its timestamp.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"dhsort"
+	"dhsort/internal/prng"
+)
+
+// event is a log record: timestamp key plus satellite data.
+type payload struct {
+	Service uint32
+	Seq     uint32
+	Code    uint16
+}
+
+func main() {
+	const (
+		ranks   = 6
+		perRank = 80000
+	)
+	ops := dhsort.PairOps[uint64, payload](dhsort.Uint64Ops)
+
+	type summary struct {
+		first, last uint64
+		n           int
+	}
+	summaries := make([]summary, ranks)
+	var mu sync.Mutex
+
+	err := dhsort.Run(ranks, nil, func(c *dhsort.Comm) error {
+		// Events arrive out of order within each service's log.
+		src := prng.NewXoshiro256(uint64(c.Rank()) + 1000)
+		local := make([]dhsort.Pair[uint64, payload], perRank)
+		clock := uint64(0)
+		for i := range local {
+			clock += prng.Uint64n(src, 2000) // irregular arrival gaps
+			jitter := prng.Uint64n(src, 50000)
+			local[i] = dhsort.Pair[uint64, payload]{
+				Key: clock + jitter,
+				Val: payload{Service: uint32(c.Rank()), Seq: uint32(i), Code: uint16(prng.Uint64n(src, 600))},
+			}
+		}
+
+		merged, err := dhsort.Sort(c, local, ops, dhsort.Config{})
+		if err != nil {
+			return err
+		}
+		// Every payload must still match its origin invariants.
+		for _, e := range merged {
+			if e.Val.Service >= ranks || e.Val.Seq >= perRank {
+				return fmt.Errorf("satellite data corrupted: %+v", e.Val)
+			}
+		}
+		mu.Lock()
+		summaries[c.Rank()] = summary{merged[0].Key, merged[len(merged)-1].Key, len(merged)}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("merged %d events from %d services into a global timeline:\n", ranks*perRank, ranks)
+	for r, s := range summaries {
+		fmt.Printf("  rank %d: %6d events, time span [%9d, %9d]\n", r, s.n, s.first, s.last)
+	}
+	fmt.Println("each rank owns a contiguous, equally sized slice of the timeline;")
+	fmt.Println("payloads travelled with their timestamps.")
+}

@@ -1,0 +1,3 @@
+module dhsort
+
+go 1.24

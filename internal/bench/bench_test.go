@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised with minimal options so the full
+// reporting paths stay correct; cmd/bench runs the real sweeps.
+
+func TestFindExperiments(t *testing.T) {
+	for _, e := range Experiments {
+		got, ok := Find(e.Name)
+		if !ok || got.Name != e.Name {
+			t.Errorf("Find(%q) failed", e.Name)
+		}
+		if e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("unknown experiment must not resolve")
+	}
+}
+
+func TestMachineReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Machine(Options{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E5-2697v3", "FDR14", "PGAS", "ns/compare"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("machine report missing %q", want)
+		}
+	}
+}
+
+func TestItersReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Iters(Options{Out: &buf, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "uint64 full range") || !strings.Contains(out, "float32") {
+		t.Errorf("iters report incomplete:\n%s", out)
+	}
+}
+
+func TestPGASReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PGAS(Options{Out: &buf, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PGAS gain") {
+		t.Errorf("pgas report incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFig4Report(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(Options{Out: &buf, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "domains") || !strings.Contains(out, "winner") {
+		t.Errorf("fig4 report incomplete:\n%s", out)
+	}
+	// The paper's crossover: PSTL line must win the 1-domain row, dhsort
+	// the 4-domain row.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 6 && fields[0] == "1" && fields[5] != "PSTL" {
+			t.Errorf("1-domain winner = %s, want PSTL", fields[5])
+		}
+		if len(fields) >= 6 && fields[0] == "4" && fields[5] != "dhsort" {
+			t.Errorf("4-domain winner = %s, want dhsort", fields[5])
+		}
+	}
+}
+
+func TestNormalStudyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NormalStudy(Options{Out: &buf, Reps: 2, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "iteration spread") {
+		t.Errorf("normal study incomplete:\n%s", buf.String())
+	}
+}
+
+func TestSharedMergeSortModelShape(t *testing.T) {
+	m := machineModel()
+	// More domains must not speed up the memory-bound sort by more than
+	// the compute share; one domain must be the compute/memory blend.
+	d1 := sharedMergeSortTime(1<<29, 14, 1, m, 1.0)
+	d4 := sharedMergeSortTime(1<<29, 56, 4, m, 1.0)
+	if d1 <= 0 || d4 <= 0 {
+		t.Fatal("model must price positive times")
+	}
+	// Task overhead must cost something.
+	omp := sharedMergeSortTime(1<<29, 14, 1, m, 1.3)
+	if omp <= d1 {
+		t.Error("task overhead must increase the modelled time")
+	}
+	if sharedMergeSortTime(1, 8, 2, m, 1.0) != 0 {
+		t.Error("degenerate input must be free")
+	}
+}

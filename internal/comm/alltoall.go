@@ -1,0 +1,262 @@
+package comm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AlltoallAlgorithm selects the exchange schedule for Alltoall/Alltoallv —
+// the tuning space §VI-E1 describes: "For a relatively small N/P we utilize
+// store-and-forward algorithms which communicate data in intermediate steps
+// in ceil(log p) rounds.  For larger messages we schedule flat handshakes
+// or 1-factorization algorithms to trade off latency and bandwidth
+// bottlenecks."
+type AlltoallAlgorithm int
+
+const (
+	// AlltoallAuto picks Bruck for small blocks (latency-bound) and the
+	// 1-factor schedule for large blocks (bandwidth-bound).
+	AlltoallAuto AlltoallAlgorithm = iota
+	// AlltoallPairwise is the linear shifted exchange: P rounds, rank r
+	// sends to r+i and receives from r-i in round i.
+	AlltoallPairwise
+	// AlltoallOneFactor schedules the rounds as a 1-factorization of the
+	// complete graph [34][35]: every round is a perfect matching, so no
+	// rank ever has two partners in flight.
+	AlltoallOneFactor
+	// AlltoallBruck is the store-and-forward algorithm: ceil(log2 P)
+	// rounds; each block travels up to log2 P hops, trading bandwidth
+	// for latency — the small-message regime.
+	AlltoallBruck
+	// AlltoallHierarchical aggregates through node leaders (§VI-E1); only
+	// meaningful under a cost model, whose topology defines the nodes
+	// (AlltoallvHier documents the scheme).  Falls back to the 1-factor
+	// schedule without a model.
+	AlltoallHierarchical
+)
+
+// String returns the algorithm name.
+func (a AlltoallAlgorithm) String() string {
+	switch a {
+	case AlltoallAuto:
+		return "auto"
+	case AlltoallPairwise:
+		return "pairwise"
+	case AlltoallOneFactor:
+		return "one-factor"
+	case AlltoallBruck:
+		return "bruck"
+	case AlltoallHierarchical:
+		return "hierarchical"
+	}
+	return fmt.Sprintf("AlltoallAlgorithm(%d)", int(a))
+}
+
+// bruckCutoffBytes is the Auto threshold: blocks at or below this size are
+// latency-bound and use store-and-forward.
+const bruckCutoffBytes = 2048
+
+// AlltoallWith exchanges blocks[i] to rank i under the chosen schedule and
+// returns the received blocks indexed by sender.  All ranks must pass the
+// same algorithm.  byteScale prices payloads at a multiple of their size.
+func AlltoallWith[T any](c *Comm, blocks [][]T, alg AlltoallAlgorithm, byteScale float64) [][]T {
+	p := c.Size()
+	if len(blocks) != p {
+		panic(fmt.Sprintf("comm: Alltoall needs %d blocks, got %d", p, len(blocks)))
+	}
+	switch alg {
+	case AlltoallPairwise:
+		return AlltoallScaled(c, blocks, byteScale)
+	case AlltoallOneFactor, AlltoallHierarchical:
+		// The hierarchical schedule needs a flat buffer and topology
+		// (AlltoallvHier); at the block level it degrades to 1-factor.
+		return alltoallOneFactor(c, blocks, byteScale)
+	case AlltoallBruck:
+		return alltoallBruck(c, blocks, byteScale)
+	}
+	// Auto: decide by the average *priced* block size (the virtual volume
+	// when byteScale inflates reduced-scale experiments).  The decision
+	// must be identical on every rank, so use the global average in one
+	// reduction.
+	var myBytes int64
+	for _, b := range blocks {
+		myBytes += int64(len(b) * elemBytes[T]())
+	}
+	if byteScale > 1 {
+		myBytes = int64(float64(myBytes) * byteScale)
+	}
+	total := AllreduceOne(c, myBytes, func(a, b int64) int64 { return a + b })
+	avg := total / int64(p*p)
+	if avg <= bruckCutoffBytes {
+		return alltoallBruck(c, blocks, byteScale)
+	}
+	return alltoallOneFactor(c, blocks, byteScale)
+}
+
+// OneFactorPartner returns rank's partner in the given round of the
+// 1-factorization of K_p, or -1 when the rank idles (odd p only).
+// Odd p: p rounds, partner j solves rank+j ≡ round (mod p); the rank with
+// 2·rank ≡ round idles.  Even p: p-1 rounds over the first p-1 ranks with
+// rank p-1 pairing the round's fixed point.  OneFactorRounds gives the
+// round count.
+func OneFactorPartner(p, round, rank int) int {
+	if p%2 == 1 {
+		j := ((round-rank)%p + p) % p
+		if j == rank {
+			return -1
+		}
+		return j
+	}
+	// Circle method: ranks 0..p-2 pair by rank+partner ≡ round (mod p-1);
+	// the rank that would pair with itself pairs the fixed player p-1
+	// instead (that rank solves 2x ≡ round, unique since p-1 is odd).
+	m := p - 1
+	r := round % m
+	if rank == p-1 {
+		return r * (m + 1) / 2 % m
+	}
+	j := ((r-rank)%m + m) % m
+	if j == rank {
+		return p - 1
+	}
+	return j
+}
+
+// alltoallOneFactor runs the exchange as a sequence of perfect matchings.
+func alltoallOneFactor[T any](c *Comm, blocks [][]T, byteScale float64) [][]T {
+	base := c.nextSeq()
+	p := c.Size()
+	out := make([][]T, p)
+	// Self block first.
+	self := make([]T, len(blocks[c.Rank()]))
+	copy(self, blocks[c.Rank()])
+	out[c.Rank()] = self
+	rounds := p
+	if p%2 == 0 {
+		rounds = p - 1
+	}
+	for r := 0; r < rounds; r++ {
+		partner := OneFactorPartner(p, r, c.Rank())
+		if partner < 0 {
+			continue
+		}
+		sendSlice(c, partner, base+r, blocks[partner], byteScale)
+		out[partner] = recvSlice[T](c, partner, base+r)
+	}
+	return out
+}
+
+// alltoallBruck is the store-and-forward exchange: in round k every rank
+// forwards all buffered blocks whose remaining relative distance has bit k
+// set to the rank 2^k away.  Each block is tagged with its final
+// destination and travels at most ceil(log2 p) hops.
+func alltoallBruck[T any](c *Comm, blocks [][]T, byteScale float64) [][]T {
+	base := c.nextSeq()
+	p := c.Size()
+	out := make([][]T, p)
+
+	// Buffered blocks tagged with origin and destination; a block is
+	// forwarded in round k when the remaining relative distance
+	// (dst - here) mod p has bit k set.
+	type travelBlock struct {
+		Src, Dst int
+		Data     []T
+	}
+	pending := make([]travelBlock, 0, p)
+	for dst, b := range blocks {
+		cp := make([]T, len(b))
+		copy(cp, b)
+		if dst == c.Rank() {
+			out[dst] = cp
+			continue
+		}
+		pending = append(pending, travelBlock{Src: c.Rank(), Dst: dst, Data: cp})
+	}
+
+	rounds := bits.Len(uint(p - 1))
+	for k := 0; k < rounds; k++ {
+		bit := 1 << k
+		var keep, forward []travelBlock
+		for _, tb := range pending {
+			rel := ((tb.Dst-c.Rank())%p + p) % p
+			if rel&bit != 0 {
+				forward = append(forward, tb)
+			} else {
+				keep = append(keep, tb)
+			}
+		}
+		dst := (c.Rank() + bit) % p
+		src := (c.Rank() - bit + p) % p
+		nbytes := 0
+		for _, tb := range forward {
+			nbytes += len(tb.Data)*elemBytes[T]() + 16
+		}
+		c.send(dst, base+k, forward, nbytes, byteScale)
+		incoming := c.recv(src, base+k).payload.([]travelBlock)
+		pending = keep
+		for _, tb := range incoming {
+			if tb.Dst == c.Rank() {
+				out[tb.Src] = tb.Data // delivered
+			} else {
+				pending = append(pending, tb)
+			}
+		}
+	}
+	if len(pending) != 0 {
+		panic("comm: bruck exchange left undelivered blocks")
+	}
+	return out
+}
+
+// OneFactorRounds returns the number of matching rounds of the
+// 1-factorization of K_p.
+func OneFactorRounds(p int) int {
+	if p%2 == 0 {
+		return p - 1
+	}
+	return p
+}
+
+// AlltoallvWith is Alltoallv under an explicit exchange schedule.
+func AlltoallvWith[T any](c *Comm, data []T, sendCounts []int, alg AlltoallAlgorithm, byteScale float64) ([]T, []int) {
+	p := c.Size()
+	if len(sendCounts) != p {
+		panic(fmt.Sprintf("comm: Alltoallv needs %d counts, got %d", p, len(sendCounts)))
+	}
+	blocks := make([][]T, p)
+	off := 0
+	for i, n := range sendCounts {
+		if n < 0 {
+			panic("comm: negative send count")
+		}
+		if off+n > len(data) {
+			panic("comm: send counts exceed buffer length")
+		}
+		blocks[i] = data[off : off+n]
+		off += n
+	}
+	if off != len(data) {
+		panic(fmt.Sprintf("comm: send counts sum to %d, buffer has %d", off, len(data)))
+	}
+	recvBlocks := AlltoallWith(c, blocks, alg, byteScale)
+	recvCounts := make([]int, p)
+	total := 0
+	for i, b := range recvBlocks {
+		recvCounts[i] = len(b)
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range recvBlocks {
+		out = append(out, b...)
+	}
+	return out, recvCounts
+}
+
+// SendrecvScaled is Sendrecv with bulk-data byte pricing.
+func SendrecvScaled[T any](c *Comm, partner, tag int, send []T, byteScale float64) []T {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	sendSlice(c, partner, tag, send, byteScale)
+	return recvSlice[T](c, partner, tag)
+}

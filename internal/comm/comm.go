@@ -1,0 +1,174 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"dhsort/internal/simnet"
+)
+
+// Comm is one rank's handle on a communicator: a group of ranks that
+// exchange messages in an isolated tag space.  Every rank holds its own
+// *Comm value; the values of one communicator share an id and a group
+// mapping but nothing mutable, so a Comm is confined to its rank goroutine.
+type Comm struct {
+	w     *World
+	id    uint64
+	rank  int   // this rank within the communicator
+	group []int // communicator rank -> world rank
+	clock *simnet.Clock
+	stats *Stats
+
+	seq    uint64 // per-rank collective sequence number (tag isolation)
+	splits uint64 // number of Split calls issued on this comm
+}
+
+// newWorldComm builds rank's handle on the world communicator (id 1).
+func newWorldComm(w *World, rank int) *Comm {
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{
+		w:     w,
+		id:    1,
+		rank:  rank,
+		group: group,
+		clock: simnet.NewClock(w.model),
+		stats: &Stats{},
+	}
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns this rank's index in the world communicator.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// Clock returns the rank's clock (virtual under a cost model).
+func (c *Comm) Clock() *simnet.Clock { return c.clock }
+
+// Model returns the world's cost model (nil in real-time mode).
+func (c *Comm) Model() *simnet.CostModel { return c.w.model }
+
+// Stats returns the rank's communication statistics accumulator (shared
+// across all communicators derived from the world for this rank).
+func (c *Comm) Stats() *Stats { return c.stats }
+
+// send delivers payload to dst (communicator rank) under tag.  bytes is the
+// payload's wire size; byteScale inflates it for bulk-data messages priced
+// at a larger virtual volume (see Config.VirtualScale in the core package).
+func (c *Comm) send(dst, tag int, payload any, bytes int, byteScale float64) {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("comm: send to rank %d outside communicator of size %d", dst, len(c.group)))
+	}
+	if byteScale <= 0 {
+		byteScale = 1
+	}
+	vbytes := int(float64(bytes) * byteScale)
+	wsrc, wdst := c.group[c.rank], c.group[dst]
+	e := envelope{comm: c.id, src: c.rank, tag: tag, payload: payload}
+	if m := c.w.model; m != nil {
+		// LogGP-style: the sender is busy for o + bytes·G (injection,
+		// serializing successive sends), the message then needs α more
+		// to become available at the receiver.
+		c.clock.Advance(m.SendOverhead + m.InjectCost(wsrc, wdst, vbytes))
+		e.arrival = c.clock.Now() + m.Latency(wsrc, wdst)
+		c.stats.record(m.Topo.Link(wsrc, wdst), vbytes)
+	} else {
+		c.stats.record(simnet.SelfLink, vbytes)
+	}
+	c.w.boxes[wdst].put(e)
+}
+
+// recv blocks for a message from src (or AnySource) under tag and
+// synchronizes the clock with its arrival.
+func (c *Comm) recv(src, tag int) envelope {
+	if src != AnySource && (src < 0 || src >= len(c.group)) {
+		panic(fmt.Sprintf("comm: recv from rank %d outside communicator of size %d", src, len(c.group)))
+	}
+	e := c.w.boxes[c.group[c.rank]].get(c.id, src, tag)
+	c.clock.Arrive(e.arrival)
+	return e
+}
+
+// nextSeq reserves a tag block for one collective operation.  All ranks of
+// a communicator execute the same sequence of collectives, so their
+// per-rank counters stay aligned without coordination.
+const tagRoundSpace = 1 << 21 // rounds per collective (supports P up to 2M)
+
+func (c *Comm) nextSeq() int {
+	c.seq++
+	return -int(c.seq * tagRoundSpace) // negative: user tags are >= 0
+}
+
+// Split partitions the communicator by color, ordering ranks of each new
+// communicator by (key, old rank), exactly like MPI_Comm_split.  It is a
+// collective call; every rank must participate.  Ranks passing different
+// colors end up in disjoint communicators with isolated tag spaces.
+func (c *Comm) Split(color, key int) *Comm {
+	type ck struct{ Color, Key, Rank int }
+	all := AllgatherOne(c, ck{color, key, c.rank})
+	var members []ck
+	for _, e := range all {
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Key != members[j].Key {
+			return members[i].Key < members[j].Key
+		}
+		return members[i].Rank < members[j].Rank
+	})
+	group := make([]int, len(members))
+	newRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.Rank]
+		if m.Rank == c.rank {
+			newRank = i
+		}
+	}
+	c.splits++
+	return &Comm{
+		w:     c.w,
+		id:    splitID(c.id, c.splits, color),
+		rank:  newRank,
+		group: group,
+		clock: c.clock,
+		stats: c.stats,
+	}
+}
+
+// splitID derives a child communicator identity deterministically, so every
+// member rank computes the same id without extra communication.  FNV-1a
+// over the (parent, epoch, color) triple.
+func splitID(parent, epoch uint64, color int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range [3]uint64{parent, epoch, uint64(int64(color))} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	if h == 0 || h == 1 {
+		h = 2 // ids 0 and 1 are reserved (unused / world)
+	}
+	return h
+}
+
+// WorldRankOf maps a communicator rank to its world rank (used by layers
+// that price direct memory access against the topology).
+func (c *Comm) WorldRankOf(rank int) int {
+	if rank < 0 || rank >= len(c.group) {
+		panic(fmt.Sprintf("comm: rank %d outside communicator of size %d", rank, len(c.group)))
+	}
+	return c.group[rank]
+}

@@ -1,0 +1,141 @@
+package comm
+
+import (
+	"testing"
+
+	"dhsort/internal/prng"
+	"dhsort/internal/simnet"
+)
+
+// hierWorkload builds a deterministic alltoallv input: rank r sends
+// (r+dst)%5 values 1000r+dst to each dst.
+func hierWorkload(rank, p int) ([]int, []int) {
+	counts := make([]int, p)
+	var buf []int
+	for d := 0; d < p; d++ {
+		counts[d] = (rank + d) % 5
+		for k := 0; k < counts[d]; k++ {
+			buf = append(buf, rank*1000+d)
+		}
+	}
+	return buf, counts
+}
+
+func TestAlltoallvHierMatchesFlat(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6, 9, 16} {
+		for _, rpn := range []int{1, 2, 4, 16} {
+			run(t, p, func(c *Comm) error {
+				buf, counts := hierWorkload(c.Rank(), p)
+				wantData, wantCounts := Alltoallv(c, append([]int(nil), buf...), counts, 1)
+				gotData, gotCounts := AlltoallvHier(c, buf, counts, rpn, 1)
+				if len(gotData) != len(wantData) {
+					t.Errorf("p=%d rpn=%d rank=%d: length %d want %d", p, rpn, c.Rank(), len(gotData), len(wantData))
+					return nil
+				}
+				for i := range wantData {
+					if gotData[i] != wantData[i] {
+						t.Errorf("p=%d rpn=%d rank=%d: data mismatch at %d", p, rpn, c.Rank(), i)
+						return nil
+					}
+				}
+				for i := range wantCounts {
+					if gotCounts[i] != wantCounts[i] {
+						t.Errorf("p=%d rpn=%d rank=%d: count mismatch from %d", p, rpn, c.Rank(), i)
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAlltoallvHierRandomized(t *testing.T) {
+	const p = 8
+	for seed := uint64(0); seed < 5; seed++ {
+		run(t, p, func(c *Comm) error {
+			src := prng.NewXoshiro256(seed*100 + uint64(c.Rank()))
+			counts := make([]int, p)
+			var buf []uint64
+			for d := range counts {
+				counts[d] = int(prng.Uint64n(src, 7))
+				for k := 0; k < counts[d]; k++ {
+					buf = append(buf, src.Uint64())
+				}
+			}
+			want, wantC := Alltoallv(c, append([]uint64(nil), buf...), counts, 1)
+			got, gotC := AlltoallvHier(c, buf, counts, 4, 1)
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d: length mismatch", seed)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed=%d: data mismatch at %d", seed, i)
+				}
+			}
+			for i := range wantC {
+				if gotC[i] != wantC[i] {
+					t.Fatalf("seed=%d: counts mismatch", seed)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAlltoallvHierReducesNetworkMessages(t *testing.T) {
+	const p, rpn = 16, 4
+	netMsgs := func(hier bool) int64 {
+		model := simnet.SuperMUC(rpn, true)
+		w, _ := NewWorld(p, model)
+		err := w.Run(func(c *Comm) error {
+			counts := make([]int, p)
+			var buf []uint64
+			for d := range counts {
+				counts[d] = 32
+				for k := 0; k < 32; k++ {
+					buf = append(buf, uint64(d))
+				}
+			}
+			if hier {
+				AlltoallvHier(c, buf, counts, rpn, 1)
+			} else {
+				Alltoallv(c, buf, counts, 1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := w.TotalStats()
+		return st.Messages[simnet.Network]
+	}
+	flat, hier := netMsgs(false), netMsgs(true)
+	// Flat: each rank sends 12 cross-node messages (to 3 other nodes x 4
+	// ranks) = 192.  Hierarchical: 4 leaders exchange with 3 peers (x2
+	// for data+metadata) plus small split/allgather traffic.
+	if hier >= flat {
+		t.Fatalf("hierarchical (%d msgs) must beat flat (%d msgs) on network messages", hier, flat)
+	}
+	if hier > flat/2 {
+		t.Errorf("hierarchical reduction too small: %d vs %d", hier, flat)
+	}
+}
+
+func TestAlltoallvHierValidation(t *testing.T) {
+	w, _ := NewWorld(2, nil)
+	err := w.Run(func(c *Comm) error {
+		AlltoallvHier(c, []int{1}, []int{1, 1}, 2, 1) // counts sum != len
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected validation panic")
+	}
+	w2, _ := NewWorld(2, nil)
+	err = w2.Run(func(c *Comm) error {
+		AlltoallvHier(c, []int{1, 2}, []int{1, 1}, 0, 1) // bad ranksPerNode
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected ranksPerNode panic")
+	}
+}

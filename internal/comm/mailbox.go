@@ -1,0 +1,74 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// AnySource matches a message from any sender in Recv operations
+// (MPI_ANY_SOURCE).
+const AnySource = -1
+
+// envelope is one in-flight message.
+type envelope struct {
+	comm    uint64        // communicator identity
+	src     int           // sender's rank within that communicator
+	tag     int           // matching tag
+	arrival time.Duration // virtual arrival time (0 in real-time mode)
+	payload any
+}
+
+// mailbox is one rank's unbounded receive queue with MPI-style
+// (communicator, source, tag) matching.  Sends are eager (never block);
+// receives block until a matching envelope arrives.  Messages from the same
+// sender with the same tag are matched in FIFO order.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []envelope
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.aborted {
+		return
+	}
+	m.queue = append(m.queue, e)
+	m.cond.Broadcast()
+}
+
+// get blocks until an envelope matching (comm, src, tag) is available and
+// removes it.  src may be AnySource.  It panics with errAborted if the
+// world is torn down while waiting.
+func (m *mailbox) get(comm uint64, src, tag int) envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted {
+			panic(errAborted)
+		}
+		for i := range m.queue {
+			e := m.queue[i]
+			if e.comm == comm && e.tag == tag && (src == AnySource || e.src == src) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return e
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,45 @@
+package comm
+
+import "dhsort/internal/simnet"
+
+// Stats accumulates one rank's communication volume, broken down by link
+// class.  It is owned by the rank goroutine (no locking) and aggregated by
+// the World after Run.
+type Stats struct {
+	Messages [4]int64 // per simnet.LinkClass
+	Bytes    [4]int64
+}
+
+func (s *Stats) record(lc simnet.LinkClass, bytes int) {
+	s.Messages[lc]++
+	s.Bytes[lc] += int64(bytes)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	for i := range s.Messages {
+		s.Messages[i] += o.Messages[i]
+		s.Bytes[i] += o.Bytes[i]
+	}
+}
+
+// TotalMessages returns the message count across all link classes.
+func (s *Stats) TotalMessages() int64 {
+	var t int64
+	for _, v := range s.Messages {
+		t += v
+	}
+	return t
+}
+
+// TotalBytes returns the byte volume across all link classes.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for _, v := range s.Bytes {
+		t += v
+	}
+	return t
+}
+
+// NetworkBytes returns the volume that crossed node boundaries.
+func (s *Stats) NetworkBytes() int64 { return s.Bytes[simnet.Network] }

@@ -1,0 +1,74 @@
+package comm
+
+import "reflect"
+
+// elemBytes returns the in-memory size of one element of type T, used for
+// communication-volume accounting.
+func elemBytes[T any]() int {
+	var z T
+	return int(reflect.TypeOf(&z).Elem().Size())
+}
+
+// Send delivers a copy of data to dst under the given tag (tag >= 0).
+// Sends are eager: they buffer at the receiver and never block.
+func Send[T any](c *Comm, dst, tag int, data []T) {
+	SendScaled(c, dst, tag, data, 1)
+}
+
+// SendScaled is Send with the payload priced at byteScale times its real
+// size in the network cost model — used when experiments execute on reduced
+// data that stands in for a paper-scale volume (Config.VirtualScale).
+func SendScaled[T any](c *Comm, dst, tag int, data []T, byteScale float64) {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	sendSlice(c, dst, tag, data, byteScale)
+}
+
+// Recv blocks for a message from src (or AnySource) under tag and returns
+// its payload.  The returned slice is owned by the caller.
+func Recv[T any](c *Comm, src, tag int) []T {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	return c.recv(src, tag).payload.([]T)
+}
+
+// RecvAny blocks for a message from any source under tag and returns the
+// payload together with the sender's rank.
+func RecvAny[T any](c *Comm, tag int) ([]T, int) {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	e := c.recv(AnySource, tag)
+	return e.payload.([]T), e.src
+}
+
+// SendOne delivers a single value to dst under tag.
+func SendOne[T any](c *Comm, dst, tag int, v T) {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	c.send(dst, tag, v, elemBytes[T](), 1)
+}
+
+// RecvOne blocks for a single value from src (or AnySource) under tag.
+func RecvOne[T any](c *Comm, src, tag int) T {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	return c.recv(src, tag).payload.(T)
+}
+
+// sendSlice copies data (senders may reuse their buffers immediately, and
+// tree collectives may deliver one buffer to several ranks) and ships it.
+func sendSlice[T any](c *Comm, dst, tag int, data []T, byteScale float64) {
+	cp := make([]T, len(data))
+	copy(cp, data)
+	c.send(dst, tag, cp, len(data)*elemBytes[T](), byteScale)
+}
+
+// recvSlice receives a []T payload.
+func recvSlice[T any](c *Comm, src, tag int) []T {
+	return c.recv(src, tag).payload.([]T)
+}

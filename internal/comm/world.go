@@ -1,0 +1,153 @@
+// Package comm is the message-passing substrate the distributed sorting
+// algorithms run on — the MPI-3 substitute of this reproduction.
+//
+// A World hosts P ranks, each executing the same function in its own
+// goroutine.  Ranks exchange tag-matched point-to-point messages through
+// per-rank mailboxes, and the package builds the collective operations the
+// paper uses (BCAST, REDUCE, ALLREDUCE, ALLGATHER, GATHER, SCATTER,
+// ALLTOALL, ALLTOALLV, EXSCAN, BARRIER) from the same algorithms production
+// MPI libraries use: binomial trees, recursive doubling, and pairwise /
+// 1-factor exchanges.  Communicators can be split (MPI_Comm_split), which is
+// how the HykSort baseline pays the split cost the paper criticizes.
+//
+// When the World carries a simnet.CostModel, every rank owns a virtual
+// clock: message arrivals and modelled compute advance it, making
+// 3584-rank scaling experiments reproducible on a single machine.  With a
+// nil model the clocks read wall time and the runtime behaves like a plain
+// concurrent execution.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"dhsort/internal/simnet"
+)
+
+// World hosts a fixed set of ranks and their mailboxes.
+type World struct {
+	size  int
+	model *simnet.CostModel
+	boxes []*mailbox
+
+	mu     sync.Mutex
+	finals []time.Duration // per-rank clock at fn return
+	stats  []Stats         // per-rank aggregated communication stats
+}
+
+// NewWorld creates a world of the given size.  model may be nil for
+// real-time execution; a non-nil model prices all communication and enables
+// virtual clocks.
+func NewWorld(size int, model *simnet.CostModel) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("comm: world size must be positive, got %d", size)
+	}
+	if model != nil {
+		if err := model.Topo.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	w := &World{
+		size:   size,
+		model:  model,
+		boxes:  make([]*mailbox, size),
+		finals: make([]time.Duration, size),
+		stats:  make([]Stats, size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Model returns the world's cost model (nil in real-time mode).
+func (w *World) Model() *simnet.CostModel { return w.model }
+
+// errAborted is the panic value used to unblock ranks after a failure.
+var errAborted = errors.New("comm: world aborted")
+
+// Run executes fn once per rank, each in its own goroutine, and waits for
+// all of them.  If any rank returns an error or panics, the world is
+// aborted: blocked receives on other ranks unblock and those ranks
+// terminate.  The returned error joins all per-rank failures.
+//
+// A World is single-shot: create a fresh one per Run.
+func (w *World) Run(fn func(c *Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if p == errAborted {
+						// Collateral of another rank's failure.
+						return
+					}
+					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+					w.abort()
+				}
+			}()
+			c := newWorldComm(w, rank)
+			if err := fn(c); err != nil {
+				errs[rank] = fmt.Errorf("comm: rank %d: %w", rank, err)
+				w.abort()
+			}
+			w.mu.Lock()
+			w.finals[rank] = c.clock.Now()
+			w.stats[rank] = *c.stats
+			w.mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// abort poisons every mailbox so blocked ranks unwind.
+func (w *World) abort() {
+	for _, b := range w.boxes {
+		b.abort()
+	}
+}
+
+// Makespan returns the maximum per-rank completion time of the last Run —
+// the virtual parallel execution time under the cost model (or each rank's
+// wall-clock time with a nil model).
+func (w *World) Makespan() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var max time.Duration
+	for _, t := range w.finals {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// RankTimes returns a copy of the per-rank completion times of the last Run.
+func (w *World) RankTimes() []time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]time.Duration, len(w.finals))
+	copy(out, w.finals)
+	return out
+}
+
+// TotalStats sums the per-rank communication statistics of the last Run.
+func (w *World) TotalStats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total Stats
+	for i := range w.stats {
+		total.Add(&w.stats[i])
+	}
+	return total
+}

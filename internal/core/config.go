@@ -1,0 +1,140 @@
+// Package core implements the paper's contribution: a distributed histogram
+// sort (§V) built on iterative splitter bisection, a single ALLTOALLV data
+// exchange, and a choice of local merge strategies — together with the
+// distributed k-selection (Algorithm 1) it generalizes.
+//
+// The algorithm works in four supersteps:
+//
+//  1. Local Sort — each rank sorts its partition with a fast shared-memory
+//     sort.
+//  2. Splitting — the splitters are determined with iterative histogramming
+//     over the locally sorted partitions (Algorithms 2+3); data never moves.
+//  3. Data Exchange — a permutation matrix is derived from the splitter
+//     bounds with boundary refinement for perfect partitioning
+//     (Algorithm 4), then a single ALLTOALLV moves every element exactly
+//     once.
+//  4. Local Merge — received runs are combined by re-sorting (the paper's
+//     evaluated default), a binary merge tree, or a tournament tree (§V-C).
+//
+// No assumptions are made about the key distribution, the number of ranks
+// (powers of two are not required), or the input partitioning (ranks may be
+// empty — sparse inputs, §VII).
+package core
+
+import (
+	"fmt"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/trace"
+)
+
+// MergeStrategy selects the Local Merge algorithm (§V-C).
+type MergeStrategy int
+
+const (
+	// MergeResort concatenates received runs and re-sorts — the strategy
+	// the paper's evaluated implementation uses.
+	MergeResort MergeStrategy = iota
+	// MergeBinaryTree merges runs pairwise over log2(P) rounds.
+	MergeBinaryTree
+	// MergeLoserTree merges all runs at once through a tournament tree.
+	MergeLoserTree
+	// MergeOverlap fuses the data exchange with merging: the ALLTOALLV
+	// is replaced by explicit 1-factor rounds [34] and each received
+	// chunk is merged while later chunks are still in flight — the
+	// communication/computation overlap sketched in §VI-E1.
+	MergeOverlap
+)
+
+// String returns the strategy name.
+func (m MergeStrategy) String() string {
+	switch m {
+	case MergeResort:
+		return "resort"
+	case MergeBinaryTree:
+		return "binary-tree"
+	case MergeLoserTree:
+		return "loser-tree"
+	case MergeOverlap:
+		return "overlap"
+	}
+	return fmt.Sprintf("MergeStrategy(%d)", int(m))
+}
+
+// Config tunes a distributed sort.  The zero value is a valid configuration:
+// perfect partitioning, re-sort merging, automatic exchange schedule.
+type Config struct {
+	// Epsilon is the load-balance threshold ε of Definition 1: after
+	// sorting, every rank holds at most N(1+ε)/P elements.  Zero demands
+	// perfect partitioning (every rank ends with exactly its input
+	// capacity), the setting of all the paper's benchmarks.
+	Epsilon float64
+
+	// Merge selects the Local Merge strategy.
+	Merge MergeStrategy
+
+	// Exchange selects the ALLTOALLV schedule for the data exchange
+	// (§VI-E1); the zero value picks automatically by priced message
+	// size (store-and-forward for small blocks, 1-factor otherwise).
+	// Ignored by MergeOverlap, which brings its own 1-factor schedule.
+	Exchange comm.AlltoallAlgorithm
+
+	// ForceUnique applies the (key, rank, index) uniqueness
+	// transformation of §V-A, making every key globally distinct at the
+	// cost of 8 extra bytes per key during the exchange and up to 64
+	// extra bisection iterations (the 128-bit embedding).
+	//
+	// It is off by default: the boundary refinement of Algorithm 4
+	// splits runs of equal keys across ranks exactly, so perfect
+	// partitioning holds for any input without the transformation, and
+	// iteration counts match the paper's key-width bounds (~30 for keys
+	// in [0, 1e9]).  Enable it to reproduce the transformed variant or
+	// to make splitter values themselves unique.
+	ForceUnique bool
+
+	// VirtualScale prices bulk data (local sorting/merging and the
+	// ALLTOALLV payload) as if each rank held VirtualScale times its real
+	// element count.  It lets paper-scale volumes drive the cost model
+	// while the run executes — and is verified — on reduced data.
+	// Values < 1 are treated as 1.  Only meaningful under a cost model.
+	VirtualScale float64
+
+	// MaxIterations bounds splitter refinement as a safety net.  The
+	// bisection converges within the key width (≤ 128 with the
+	// uniqueness transformation); 0 means that bound.
+	MaxIterations int
+
+	// Recorder, when non-nil, receives this rank's phase timings and
+	// iteration counts.
+	Recorder *trace.Recorder
+}
+
+// scale returns the effective VirtualScale.
+func (cfg Config) scale() float64 {
+	if cfg.VirtualScale < 1 {
+		return 1
+	}
+	return cfg.VirtualScale
+}
+
+// maxIters returns the effective iteration bound.
+func (cfg Config) maxIters() int {
+	if cfg.MaxIterations <= 0 {
+		return 130 // 128-bit embedding + slack
+	}
+	return cfg.MaxIterations
+}
+
+// validate rejects nonsensical configurations.
+func (cfg Config) validate() error {
+	if cfg.Epsilon < 0 {
+		return fmt.Errorf("core: Epsilon must be non-negative, got %v", cfg.Epsilon)
+	}
+	if cfg.Merge < MergeResort || cfg.Merge > MergeOverlap {
+		return fmt.Errorf("core: unknown merge strategy %d", int(cfg.Merge))
+	}
+	if cfg.Exchange < comm.AlltoallAuto || cfg.Exchange > comm.AlltoallHierarchical {
+		return fmt.Errorf("core: unknown exchange algorithm %d", int(cfg.Exchange))
+	}
+	return nil
+}

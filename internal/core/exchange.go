@@ -1,0 +1,233 @@
+package core
+
+import (
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/sortutil"
+	"dhsort/internal/trace"
+)
+
+// ComputeCuts turns the splitter values into per-rank cut positions such
+// that destination d receives exactly its target share — the permutation
+// matrix construction with boundary refinement of §V-B (Algorithm 4).
+//
+// Communication: two ALLTOALL rounds of O(P) elements per rank, as in the
+// paper.  Round 1 sends each rank's (l_d, u_d) bounds to rank d, which is
+// responsible for row d of the matrix; rank d assigns the T_d - L_d excess
+// elements greedily from the u_d - l_d contingents; round 2 returns the
+// refined cuts.
+//
+// The returned cuts have length P+1 with cuts[0] = 0 and cuts[P] = n; the
+// segment [cuts[d], cuts[d+1]) of the locally sorted partition goes to
+// rank d.
+func ComputeCuts[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], splitters []K, targets []int64) []int {
+	p := c.Size()
+	n := len(sorted)
+	model := c.Model()
+	cuts := make([]int, p+1)
+	cuts[p] = n
+	if p == 1 {
+		return cuts
+	}
+
+	// Local bounds of every splitter: l_d keys are strictly below splitter
+	// d, u_d at or below it.
+	sendBounds := make([][]int64, p)
+	sendBounds[0] = []int64{0, 0} // rank 0 has no lower boundary splitter
+	for d := 1; d < p; d++ {
+		s := splitters[d-1]
+		l := int64(sortutil.LowerBound(sorted, s, ops.Less))
+		u := int64(sortutil.UpperBound(sorted, s, ops.Less))
+		sendBounds[d] = []int64{l, u}
+	}
+	if model != nil {
+		c.Clock().Advance(model.SearchCost(n, 2*(p-1)))
+	}
+
+	// Round 1: rank d collects every rank's bounds for splitter d.
+	bounds := comm.Alltoall(c, sendBounds)
+
+	// Row d of the permutation matrix: choose c_d^r in [l^r, u^r] with
+	// sum_r c_d^r = G_d (Algorithm 4's refinement loop).
+	replies := make([][]int64, p)
+	if c.Rank() == 0 {
+		for r := 0; r < p; r++ {
+			replies[r] = []int64{0}
+		}
+	} else {
+		var L, U int64
+		for r := 0; r < p; r++ {
+			L += bounds[r][0]
+			U += bounds[r][1]
+		}
+		// Realized split point: the target when reachable, else the
+		// closest histogram bound (only short with duplicate keys and
+		// the uniqueness transformation disabled).
+		G := targets[c.Rank()-1]
+		if G < L {
+			G = L
+		}
+		if G > U {
+			G = U
+		}
+		excess := G - L // elements to fill up beyond the lower bounds
+		for r := 0; r < p; r++ {
+			slack := bounds[r][1] - bounds[r][0]
+			take := excess
+			if take > slack {
+				take = slack
+			}
+			replies[r] = []int64{bounds[r][0] + take}
+			excess -= take
+		}
+	}
+	if model != nil {
+		c.Clock().Advance(model.ScanCost(2 * p))
+	}
+
+	// Round 2: every rank learns its cut for each destination boundary.
+	myCuts := comm.Alltoall(c, replies)
+	for d := 1; d < p; d++ {
+		cuts[d] = int(myCuts[d][0])
+	}
+	// Defensive clamping: monotone within [0, n].  (Exact by construction
+	// with unique keys.)
+	for d := 1; d <= p; d++ {
+		if cuts[d] < cuts[d-1] {
+			cuts[d] = cuts[d-1]
+		}
+		if cuts[d] > n {
+			cuts[d] = n
+		}
+	}
+	return cuts
+}
+
+// ExchangeAndMerge performs the single ALLTOALLV data exchange (§V-B) and
+// the Local Merge superstep (§V-C), returning the rank's final sorted
+// partition.
+func ExchangeAndMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []int, cfg Config) []K {
+	p := c.Size()
+	model := c.Model()
+	scale := cfg.scale()
+
+	sendCounts := make([]int, p)
+	var outBytes int64
+	for d := 0; d < p; d++ {
+		sendCounts[d] = cuts[d+1] - cuts[d]
+		if d != c.Rank() {
+			outBytes += int64(sendCounts[d]) * int64(ops.Bytes())
+		}
+	}
+	cfg.Recorder.AddExchangedBytes(int64(float64(outBytes) * scale))
+
+	if cfg.Merge == MergeOverlap {
+		return overlapExchangeMerge(c, sorted, ops, sendCounts, cfg)
+	}
+	var recv []K
+	var recvCounts []int
+	if cfg.Exchange == comm.AlltoallHierarchical {
+		rpn := 1
+		if model != nil {
+			rpn = model.Topo.RanksPerNode
+		}
+		if rpn > 1 {
+			recv, recvCounts = comm.AlltoallvHier(c, sorted, sendCounts, rpn, scale)
+		} else {
+			recv, recvCounts = comm.AlltoallvWith(c, sorted, sendCounts, comm.AlltoallOneFactor, scale)
+		}
+	} else {
+		recv, recvCounts = comm.AlltoallvWith(c, sorted, sendCounts, cfg.Exchange, scale)
+	}
+
+	cfg.Recorder.Enter(trace.Merge)
+	runs := make([][]K, 0, p)
+	off := 0
+	for _, n := range recvCounts {
+		if n > 0 {
+			runs = append(runs, recv[off:off+n])
+		}
+		off += n
+	}
+	var out []K
+	switch cfg.Merge {
+	case MergeBinaryTree:
+		out = sortutil.MergeKBinary(runs, ops.Less)
+		if model != nil {
+			c.Clock().Advance(model.MergeCost(int(float64(len(recv))*scale), len(runs)))
+		}
+	case MergeLoserTree:
+		out = sortutil.MergeKLoser(runs, ops.Less)
+		if model != nil {
+			c.Clock().Advance(model.MergeCost(int(float64(len(recv))*scale), len(runs)))
+		}
+	default: // MergeResort — the paper's evaluated strategy.
+		out = sortutil.MergeKResort(runs, ops.Less)
+		if model != nil {
+			c.Clock().Advance(model.SortCost(int(float64(len(recv)) * scale)))
+		}
+	}
+	return out
+}
+
+// overlapExchangeMerge is the §VI-E1 fused exchange: explicit sendrecv
+// rounds over a 1-factorization of the communication graph, merging each
+// received chunk into the accumulated output immediately.  Under the
+// virtual clock this models overlap naturally: merge time advances the
+// local clock, so a chunk whose arrival precedes the clock costs no wait.
+func overlapExchangeMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], sendCounts []int, cfg Config) []K {
+	p := c.Size()
+	model := c.Model()
+	scale := cfg.scale()
+
+	// Segment offsets into the locally sorted run.
+	offsets := make([]int, p+1)
+	for d := 0; d < p; d++ {
+		offsets[d+1] = offsets[d] + sendCounts[d]
+	}
+	// Runs are buffered on a size-balanced stack (merge two runs whenever
+	// the top is at least half the size of the one below): every element
+	// is merged O(log P) times in total, yet merging still happens
+	// between rounds so it overlaps in-flight transfers.
+	var stack [][]K
+	push := func(run []K) {
+		if len(run) == 0 {
+			return
+		}
+		stack = append(stack, run)
+		for len(stack) >= 2 && len(stack[len(stack)-1])*2 >= len(stack[len(stack)-2]) {
+			a, b := stack[len(stack)-2], stack[len(stack)-1]
+			stack = stack[:len(stack)-2]
+			cfg.Recorder.Enter(trace.Merge)
+			merged := sortutil.Merge(a, b, ops.Less)
+			if model != nil {
+				c.Clock().Advance(model.MergeCost(int(float64(len(merged))*scale), 2))
+			}
+			cfg.Recorder.Enter(trace.Exchange)
+			stack = append(stack, merged)
+		}
+	}
+	self := make([]K, sendCounts[c.Rank()])
+	copy(self, sorted[offsets[c.Rank()]:offsets[c.Rank()+1]])
+	push(self)
+
+	rounds := comm.OneFactorRounds(p)
+	for r := 0; r < rounds; r++ {
+		partner := comm.OneFactorPartner(p, r, c.Rank())
+		if partner < 0 {
+			continue
+		}
+		push(comm.SendrecvScaled(c, partner, overlapTag+r, sorted[offsets[partner]:offsets[partner+1]], scale))
+	}
+	cfg.Recorder.Enter(trace.Merge)
+	acc := sortutil.MergeKLoser(stack, ops.Less)
+	if model != nil && len(stack) > 1 {
+		c.Clock().Advance(model.MergeCost(int(float64(len(acc))*scale), len(stack)))
+	}
+	return acc
+}
+
+// overlapTag is the user-tag base reserved for the fused exchange rounds;
+// application point-to-point traffic concurrent with Sort must avoid
+// [overlapTag, overlapTag+P).
+const overlapTag = 1 << 30

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/sortutil"
+	"dhsort/internal/workload"
+)
+
+func TestExecutePlanCarriesSatelliteData(t *testing.T) {
+	const p, perRank = 5, 300
+	w, _ := comm.NewWorld(p, nil)
+	type got struct {
+		keys []uint64
+		vals []uint64
+	}
+	results := make([]got, p)
+	var mu sync.Mutex
+	err := w.Run(func(c *comm.Comm) error {
+		spec := workload.Spec{Dist: workload.Uniform, Seed: 95, Span: 1e9}
+		local, _ := spec.Rank(c.Rank(), perRank)
+		// Satellite value encodes its key so transport is checkable.
+		vals := make([]uint64, len(local))
+		for i, k := range local {
+			vals[i] = k*31 + 7
+		}
+		plan, err := MakePlan(c, local, u64, Config{})
+		if err != nil {
+			return err
+		}
+		outKeys, err := ExecutePlan(c, plan, local, Config{})
+		if err != nil {
+			return err
+		}
+		outVals, err := ExecutePlan(c, plan, vals, Config{})
+		if err != nil {
+			return err
+		}
+		if len(outKeys) != perRank || len(outVals) != perRank {
+			t.Errorf("rank %d: sizes %d/%d", c.Rank(), len(outKeys), len(outVals))
+		}
+		mu.Lock()
+		results[c.Rank()] = got{outKeys, outVals}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, g := range results {
+		for i := range g.keys {
+			if g.vals[i] != g.keys[i]*31+7 {
+				t.Fatalf("rank %d: value detached from key at %d", r, i)
+			}
+		}
+		// Arrival order merges to the sorted partition.
+		sortutil.Sort(g.keys, u64.Less)
+		if !sortutil.IsSorted(g.keys, u64.Less) {
+			t.Fatalf("rank %d: keys not sortable", r)
+		}
+	}
+}
+
+func TestExecutePlanValidation(t *testing.T) {
+	w, _ := comm.NewWorld(2, nil)
+	err := w.Run(func(c *comm.Comm) error {
+		plan, err := MakePlan(c, []uint64{3, 1, 2}, u64, Config{})
+		if err != nil {
+			return err
+		}
+		if _, err := ExecutePlan(c, plan, []int{1}, Config{}); err == nil {
+			t.Error("length mismatch must be rejected")
+		}
+		// Matching call so the collective completes consistently.
+		_, err = ExecutePlan(c, plan, []int{7, 8, 9}, Config{})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

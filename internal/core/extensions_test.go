@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/simnet"
+	"dhsort/internal/sortutil"
+	"dhsort/internal/workload"
+)
+
+func TestSortMergeOverlap(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf, workload.AllEqual} {
+			spec := workload.Spec{Dist: dist, Seed: uint64(p) + 80, Span: 1e9}
+			ins, outs := runSort(t, p, spec, 300, Config{Merge: MergeOverlap}, nil)
+			checkSorted(t, ins, outs, true, 0)
+		}
+	}
+}
+
+func TestSortExchangeAlgorithms(t *testing.T) {
+	for _, alg := range []comm.AlltoallAlgorithm{comm.AlltoallAuto, comm.AlltoallPairwise, comm.AlltoallOneFactor, comm.AlltoallBruck, comm.AlltoallHierarchical} {
+		spec := workload.Spec{Dist: workload.Uniform, Seed: 81, Span: 1e9}
+		ins, outs := runSort(t, 9, spec, 400, Config{Exchange: alg}, nil)
+		checkSorted(t, ins, outs, true, 0)
+	}
+}
+
+func TestSortHierarchicalExchangeUnderModel(t *testing.T) {
+	model := simnet.SuperMUC(4, true)
+	spec := workload.Spec{Dist: workload.Uniform, Seed: 82, Span: 1e9}
+	ins, outs := runSort(t, 16, spec, 300, Config{Exchange: comm.AlltoallHierarchical}, model)
+	checkSorted(t, ins, outs, true, 0)
+}
+
+func TestSortInvalidExchange(t *testing.T) {
+	w, _ := comm.NewWorld(1, nil)
+	err := w.Run(func(c *comm.Comm) error {
+		_, err := Sort(c, []uint64{1}, u64, Config{Exchange: comm.AlltoallAlgorithm(42)})
+		return err
+	})
+	if err == nil {
+		t.Fatal("invalid exchange algorithm must be rejected")
+	}
+}
+
+func TestMergeOverlapUnderModelOverlapsCommunication(t *testing.T) {
+	// The fused exchange should not be slower than exchange-then-resort
+	// when merging dominates, and must produce identical results.
+	model := simnet.SuperMUC(4, true)
+	spec := workload.Spec{Dist: workload.Uniform, Seed: 83, Span: 1e9}
+	_, a := runSort(t, 8, spec, 500, Config{Merge: MergeOverlap}, model)
+	_, b := runSort(t, 8, spec, 500, Config{Merge: MergeResort}, model)
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			t.Fatalf("strategies disagree on rank %d sizes", r)
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("strategies disagree on rank %d data", r)
+			}
+		}
+	}
+}
+
+func TestFindSplittersViaSelectionMatchesHistogram(t *testing.T) {
+	// Both determination methods must yield splitters satisfying
+	// Definition 4 for the same targets.
+	p, perRank := 6, 700
+	w, _ := comm.NewWorld(p, nil)
+	err := w.Run(func(c *comm.Comm) error {
+		spec := workload.Spec{Dist: workload.Normal, Seed: 84, Span: 1e9}
+		local, _ := spec.Rank(c.Rank(), perRank)
+		sorted := append([]uint64(nil), local...)
+		sortutil.Sort(sorted, u64.Less)
+		targets := make([]int64, p-1)
+		for i := range targets {
+			targets[i] = int64((i + 1) * perRank)
+		}
+		bySel, err := FindSplittersViaSelection(c, local, u64, targets, Config{})
+		if err != nil {
+			return err
+		}
+		hist := make([]int64, 0, 2*len(bySel))
+		for _, s := range bySel {
+			hist = append(hist,
+				int64(sortutil.LowerBound(sorted, s, u64.Less)),
+				int64(sortutil.UpperBound(sorted, s, u64.Less)))
+		}
+		global := comm.Allreduce(c, hist, func(a, b int64) int64 { return a + b })
+		for i, T := range targets {
+			L, U := global[2*i], global[2*i+1]
+			if !(L < T && T <= U) {
+				t.Errorf("selection splitter %d: L=%d T=%d U=%d", i, L, T, U)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type record = keys.Pair[uint64, [2]float64]
+
+func TestSortPairsWithSatelliteData(t *testing.T) {
+	// Records sorted by key; satellite payloads must travel with their
+	// keys (the std::sort-on-structs use case).
+	p, perRank := 6, 300
+	ops := keys.NewPairOps[uint64, [2]float64](keys.Uint64{})
+	w, _ := comm.NewWorld(p, nil)
+	outs := make([][]record, p)
+	var mu sync.Mutex
+	err := w.Run(func(c *comm.Comm) error {
+		spec := workload.Spec{Dist: workload.DuplicateHeavy, Seed: 85, Span: 1e9}
+		raw, _ := spec.Rank(c.Rank(), perRank)
+		local := make([]record, len(raw))
+		for i, k := range raw {
+			// Payload encodes (key, origin) so transport can be checked.
+			local[i] = record{Key: k, Val: [2]float64{float64(k), float64(c.Rank())}}
+		}
+		out, err := Sort(c, local, ops, Config{})
+		if err != nil {
+			return err
+		}
+		if len(out) != perRank {
+			t.Errorf("rank %d: perfect partitioning violated: %d", c.Rank(), len(out))
+		}
+		mu.Lock()
+		outs[c.Rank()] = out
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	first := true
+	originCount := map[float64]int{}
+	for r, out := range outs {
+		for i, rec := range out {
+			if rec.Val[0] != float64(rec.Key) {
+				t.Fatalf("rank %d index %d: satellite data detached from key", r, i)
+			}
+			if !first && rec.Key < prev {
+				t.Fatalf("order violated at rank %d index %d", r, i)
+			}
+			prev, first = rec.Key, false
+			originCount[rec.Val[1]]++
+		}
+	}
+	// Every origin's records must all still exist.
+	for o := 0; o < p; o++ {
+		if originCount[float64(o)] != perRank {
+			t.Fatalf("records from origin %d lost: %d", o, originCount[float64(o)])
+		}
+	}
+}
+
+func TestPairOpsBytesIncludesPayload(t *testing.T) {
+	ops := keys.NewPairOps[uint64, [2]float64](keys.Uint64{})
+	if ops.Bytes() != 8+16 {
+		t.Fatalf("Bytes = %d, want 24", ops.Bytes())
+	}
+}
+
+func TestRadixLocalSortCompatible(t *testing.T) {
+	// The radix kernel must agree with the introsort used by Sort.
+	spec := workload.Spec{Dist: workload.Uniform, Seed: 86, Span: 0}
+	a, _ := spec.Rank(0, 50000)
+	b := append([]uint64(nil), a...)
+	sortutil.RadixSortUint64(a)
+	sortutil.Sort(b, u64.Less)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

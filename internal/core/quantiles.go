@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/sortutil"
+)
+
+// Quantiles returns q-1 cut values splitting the distributed sequence into
+// q equal-count buckets (an equi-depth histogram): cut i has global rank
+// ~i·N/q within the tolerance of cfg.Epsilon.  It reuses the splitter
+// search of the sort (Algorithms 2+3) without moving any data, costing one
+// small ALLREDUCE per refinement iteration.  Collective; local need not be
+// sorted and is not modified.
+func Quantiles[K any](c *comm.Comm, local []K, q int, ops keys.Ops[K], cfg Config) ([]K, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("core: need at least one bucket, got %d", q)
+	}
+	sorted := make([]K, len(local))
+	copy(sorted, local)
+	sortutil.Sort(sorted, ops.Less)
+	if m := c.Model(); m != nil {
+		c.Clock().Advance(m.SortCost(int(float64(len(sorted)) * cfg.scale())))
+	}
+	totalN := comm.AllreduceOne(c, int64(len(sorted)), func(a, b int64) int64 { return a + b })
+	targets := make([]int64, q-1)
+	for i := range targets {
+		targets[i] = totalN * int64(i+1) / int64(q)
+	}
+	tol := int64(cfg.Epsilon * float64(totalN) / (2 * float64(q)))
+	cuts, _ := FindSplitters(c, sorted, ops, targets, tol, cfg)
+	return cuts, nil
+}

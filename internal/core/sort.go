@@ -1,0 +1,117 @@
+package core
+
+import (
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/sortutil"
+	"dhsort/internal/trace"
+)
+
+// Sort sorts the distributed sequence whose local share on this rank is
+// local, and returns this rank's partition of the globally sorted result.
+// It must be called collectively by every rank of c with a consistent
+// configuration.
+//
+// The output invariant (§I): each returned partition is sorted, no element
+// on rank i orders after any element on rank i+1, and — with Epsilon == 0
+// and the uniqueness transformation enabled — rank i holds exactly as many
+// elements as it contributed (perfect partitioning).  The input slice is
+// not modified.
+//
+// Duplicate keys need no special treatment: Algorithm 4's boundary
+// refinement splits runs of equal keys across ranks exactly.  Set
+// cfg.ForceUnique to additionally apply the (key, rank, index)
+// transformation of §V-A.
+func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.ForceUnique {
+		return sortImpl[K](c, local, ops, cfg)
+	}
+	triples := keys.MakeUnique(local, c.Rank())
+	if m := c.Model(); m != nil {
+		c.Clock().Advance(m.ScanCost(int(float64(len(local)) * cfg.scale())))
+	}
+	out, err := sortImpl[keys.Triple[K]](c, triples, keys.NewTripleOps(ops), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return keys.StripUnique(out), nil
+}
+
+// sortImpl runs the four supersteps of §V.
+func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	p := c.Size()
+	model := c.Model()
+	scale := cfg.scale()
+	rec := cfg.Recorder
+
+	// Superstep 1: Local Sort.
+	rec.Enter(trace.LocalSort)
+	sorted := make([]K, len(local))
+	copy(sorted, local)
+	sortutil.Sort(sorted, ops.Less)
+	if model != nil {
+		c.Clock().Advance(model.SortCost(int(float64(len(sorted)) * scale)))
+	}
+	if p == 1 {
+		rec.Finish()
+		return sorted, nil
+	}
+
+	// Superstep 2: Splitting.  Targets are the capacity prefix sums of
+	// Definition 3; the tolerance comes from Definition 1.
+	rec.Enter(trace.Other)
+	capacities := comm.AllgatherOne(c, int64(len(local)))
+	targets := make([]int64, p-1)
+	var totalN, acc int64
+	for _, n := range capacities {
+		totalN += n
+	}
+	for i := 0; i < p-1; i++ {
+		acc += capacities[i]
+		targets[i] = acc
+	}
+	tol := int64(cfg.Epsilon * float64(totalN) / (2 * float64(p)))
+
+	rec.Enter(trace.Histogram)
+	splitters, _ := FindSplitters(c, sorted, ops, targets, tol, cfg)
+
+	// Superstep 3: Data Exchange (permutation matrix + ALLTOALLV).
+	rec.Enter(trace.Other)
+	cuts := ComputeCuts(c, sorted, ops, splitters, targets)
+	rec.Enter(trace.Exchange)
+	out := ExchangeAndMerge(c, sorted, ops, cuts, cfg) // enters Merge internally
+	rec.Finish()
+	return out, nil
+}
+
+// IsGloballySorted verifies the output invariant collectively: every local
+// partition is sorted and no element orders after the first element of the
+// next non-empty rank.  The verdict is returned on every rank.
+func IsGloballySorted[K any](c *comm.Comm, local []K, ops keys.Ops[K]) bool {
+	ok := sortutil.IsSorted(local, ops.Less)
+	// Share boundary elements: every rank publishes (has, first, last).
+	type boundary struct {
+		Has         bool
+		First, Last K
+	}
+	b := boundary{Has: len(local) > 0}
+	if b.Has {
+		b.First, b.Last = local[0], local[len(local)-1]
+	}
+	all := comm.AllgatherOne(c, b)
+	var prev *K
+	for i := range all {
+		if !all[i].Has {
+			continue
+		}
+		if prev != nil && ops.Less(all[i].First, *prev) {
+			ok = false
+		}
+		last := all[i].Last
+		prev = &last
+	}
+	return comm.AllreduceOne(c, ok, func(a, b bool) bool { return a && b })
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/sortutil"
+	"dhsort/internal/xmath"
+)
+
+// splitterState tracks one splitter's bisection interval in the embedded
+// key space: the (S_il, S_i, S_iu) tuple of §V-A, with the bounds kept as
+// bit points so that S_i <- (S_il + S_iu)/2 (Algorithm 3, line 6) always
+// makes progress and converges within the key width.
+type splitterState[K any] struct {
+	lo, hi xmath.U128
+	done   bool
+	value  K
+}
+
+// minMax carries one rank's key extrema through a reduction.
+type minMax struct {
+	Has      bool
+	Min, Max xmath.U128
+}
+
+func mergeMinMax(a, b minMax) minMax {
+	switch {
+	case !a.Has:
+		return b
+	case !b.Has:
+		return a
+	}
+	out := minMax{Has: true, Min: a.Min, Max: a.Max}
+	if b.Min.Less(out.Min) {
+		out.Min = b.Min
+	}
+	if out.Max.Less(b.Max) {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// FindSplitters determines the P-1 splitter values for the given rank
+// targets over the locally sorted partition (Algorithms 2+3).  targets[i]
+// is the global rank T_i that splitter i must hit: splitter i is accepted
+// when its global histogram satisfies L_i - tol < T_i <= U_i + tol
+// (Definition 4, relaxed by the ε tolerance of Definition 1).
+//
+// Returns the splitter values (identical on every rank) and the number of
+// histogramming iterations.  When the input holds fewer distinct keys than
+// ranks and the uniqueness transformation is disabled, intervals can
+// collapse before the condition holds; such splitters finish at their
+// collapsed point and only global order — not balance — is guaranteed.
+func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []int64, tol int64, cfg Config) ([]K, int) {
+	nsplit := len(targets)
+	if nsplit == 0 {
+		return nil, 0
+	}
+	model := c.Model()
+
+	// Global key extrema: one O(log P) reduction (§V-A).
+	local := minMax{}
+	if len(sorted) > 0 {
+		local = minMax{Has: true, Min: ops.ToBits(sorted[0]), Max: ops.ToBits(sorted[len(sorted)-1])}
+	}
+	mm := comm.AllreduceOne(c, local, mergeMinMax)
+	if !mm.Has {
+		// Globally empty input: any splitter values do.
+		return make([]K, nsplit), 0
+	}
+
+	totalN := comm.AllreduceOne(c, int64(len(sorted)), func(a, b int64) int64 { return a + b })
+
+	states := make([]splitterState[K], nsplit)
+	for i := range states {
+		states[i] = splitterState[K]{lo: mm.Min, hi: mm.Max}
+		// Degenerate targets need no search.
+		if targets[i] <= 0 {
+			states[i].done = true
+			states[i].value = ops.FromBits(mm.Min)
+		} else if targets[i] >= totalN {
+			states[i].done = true
+			states[i].value = ops.FromBits(mm.Max)
+		}
+	}
+
+	iters := 0
+	active := make([]int, 0, nsplit)
+	hist := make([]int64, 0, 2*nsplit)
+	for iters < cfg.maxIters() {
+		active = active[:0]
+		for i := range states {
+			if !states[i].done {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		iters++
+		cfg.Recorder.AddIteration()
+
+		// Local histogram: lower/upper bounds of each candidate by
+		// binary search in the locally sorted partition (Alg. 3 line 7).
+		hist = hist[:0]
+		mids := make([]K, len(active))
+		for ai, i := range active {
+			st := &states[i]
+			mid := ops.FromBits(st.lo.Avg(st.hi))
+			mids[ai] = mid
+			l := int64(sortutil.LowerBound(sorted, mid, ops.Less))
+			u := int64(sortutil.UpperBound(sorted, mid, ops.Less))
+			hist = append(hist, l, u)
+		}
+		if model != nil {
+			c.Clock().Advance(model.SearchCost(len(sorted), 2*len(active)))
+		}
+
+		// Global histogram: one ALLREDUCE (Alg. 3 line 8).
+		global := comm.Allreduce(c, hist, func(a, b int64) int64 { return a + b })
+
+		// Validate each splitter (Algorithm 2).
+		for ai, i := range active {
+			st := &states[i]
+			L, U := global[2*ai], global[2*ai+1]
+			T := targets[i]
+			midBits := st.lo.Avg(st.hi)
+			switch {
+			case L-tol < T && T <= U+tol:
+				st.done = true
+				st.value = mids[ai]
+			case U < T:
+				// Too few elements at or below the probe: move S_il up.
+				st.lo = midBits.Inc()
+			default:
+				// Too many strictly below: move S_iu down to the probe.
+				st.hi = midBits
+			}
+			if !st.done && !st.lo.Less(st.hi) {
+				// Interval collapsed (duplicate keys without the
+				// uniqueness transformation): accept the point.
+				st.done = true
+				st.value = ops.FromBits(st.hi)
+			}
+		}
+	}
+
+	out := make([]K, nsplit)
+	for i, st := range states {
+		if !st.done {
+			// Iteration budget exhausted; accept the current interval top.
+			st.value = ops.FromBits(st.hi)
+		}
+		out[i] = st.value
+	}
+	// Defensive monotonicity (valid splitter ranges for increasing targets
+	// are ascending, but collapsed intervals may break ties).
+	sortutil.Sort(out, ops.Less)
+	return out, iters
+}

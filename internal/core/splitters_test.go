@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/simnet"
+	"dhsort/internal/sortutil"
+	"dhsort/internal/trace"
+	"dhsort/internal/workload"
+)
+
+// iterationCount runs only the splitter phase and reports the iteration
+// count (identical on all ranks) — the §V-A experiment.
+func iterationCount[K any](t *testing.T, p, perRank int, gen func(r, i int) K, ops keys.Ops[K]) int {
+	t.Helper()
+	w, _ := comm.NewWorld(p, nil)
+	var mu sync.Mutex
+	iters := -1
+	err := w.Run(func(c *comm.Comm) error {
+		local := make([]K, perRank)
+		for i := range local {
+			local[i] = gen(c.Rank(), i)
+		}
+		sortutil.Sort(local, ops.Less)
+		capacities := comm.AllgatherOne(c, int64(len(local)))
+		targets := make([]int64, p-1)
+		var acc int64
+		for i := 0; i < p-1; i++ {
+			acc += capacities[i]
+			targets[i] = acc
+		}
+		_, n := FindSplitters(c, local, ops, targets, 0, Config{})
+		mu.Lock()
+		if iters == -1 {
+			iters = n
+		} else if iters != n {
+			t.Errorf("iteration counts diverge across ranks: %d vs %d", iters, n)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iters
+}
+
+func TestIterationCountsBoundedByKeyWidth(t *testing.T) {
+	// §V-A: "With normally and uniformly distributed keys the number of
+	// iterations is bound by the key size ... 64-bit floating point
+	// numbers ... 60-64 iterations.  Sorting 32-bit floats can be
+	// accomplished in 25-35 iterations."
+	src := func(r, i int) uint64 {
+		x := uint64(r)*2654435761 + uint64(i)*0x9e3779b97f4a7c15
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x
+	}
+	full64 := iterationCount(t, 8, 512, func(r, i int) uint64 { return src(r, i) }, keys.Uint64{})
+	if full64 > 66 {
+		t.Errorf("full-range 64-bit keys took %d iterations, want <= ~64", full64)
+	}
+	if full64 < 20 {
+		t.Errorf("full-range 64-bit keys took only %d iterations — suspicious", full64)
+	}
+	narrow32 := iterationCount(t, 8, 512, func(r, i int) uint32 { return uint32(src(r, i)) }, keys.Uint32{})
+	if narrow32 > 34 {
+		t.Errorf("32-bit keys took %d iterations, want <= ~32", narrow32)
+	}
+	f32 := iterationCount(t, 8, 512, func(r, i int) float32 {
+		return float32(src(r, i)%1e6) / 7.0
+	}, keys.Float32{})
+	if f32 > 34 {
+		t.Errorf("32-bit float keys took %d iterations, want <= ~32", f32)
+	}
+}
+
+func TestIterationCountsIndependentOfP(t *testing.T) {
+	// §V-A: "The number of processors does not impact the number of
+	// iterations."
+	gen := func(r, i int) uint64 {
+		x := uint64(r)*1000003 + uint64(i)
+		x *= 0x9e3779b97f4a7c15
+		return x % 1000000007 // the paper's [0, 1e9] span
+	}
+	var counts []int
+	for _, p := range []int{2, 4, 8, 16} {
+		counts = append(counts, iterationCount(t, p, 256, gen, keys.Uint64{}))
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 8 {
+		t.Errorf("iteration counts vary too much with P: %v", counts)
+	}
+}
+
+func TestIterationCountNarrowSpan(t *testing.T) {
+	// Keys in [0, 1e9]: the splitter interval spans ~2^30, so roughly 30
+	// iterations suffice (§VI-B: "takes ~30 iterations").
+	gen := func(r, i int) uint64 {
+		x := uint64(r)*7919 + uint64(i)*104729
+		return (x * 0x9e3779b97f4a7c15) % 1000000001
+	}
+	n := iterationCount(t, 8, 512, gen, keys.Uint64{})
+	if n > 36 {
+		t.Errorf("[0,1e9] keys took %d iterations, want ~30", n)
+	}
+}
+
+func TestSplittersHitTargets(t *testing.T) {
+	// White-box check of Definition 4 on the splitter output.
+	p, perRank := 6, 400
+	w, _ := comm.NewWorld(p, nil)
+	err := w.Run(func(c *comm.Comm) error {
+		spec := workload.Spec{Dist: workload.Uniform, Seed: 55, Span: 1e9}
+		raw, _ := spec.Rank(c.Rank(), perRank)
+		local := keys.MakeUnique(raw, c.Rank())
+		ops := keys.NewTripleOps[uint64](keys.Uint64{})
+		sortutil.Sort(local, ops.Less)
+		targets := make([]int64, p-1)
+		for i := range targets {
+			targets[i] = int64((i + 1) * perRank)
+		}
+		splitters, _ := FindSplitters(c, local, ops, targets, 0, Config{})
+		// Verify L_i < T_i <= U_i globally.
+		hist := make([]int64, 0, 2*len(splitters))
+		for _, s := range splitters {
+			hist = append(hist,
+				int64(sortutil.LowerBound(local, s, ops.Less)),
+				int64(sortutil.UpperBound(local, s, ops.Less)))
+		}
+		global := comm.Allreduce(c, hist, func(a, b int64) int64 { return a + b })
+		for i, T := range targets {
+			L, U := global[2*i], global[2*i+1]
+			if !(L < T && T <= U) {
+				t.Errorf("splitter %d: L=%d T=%d U=%d violates Definition 4", i, L, T, U)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplittersMonotone(t *testing.T) {
+	p := 9
+	w, _ := comm.NewWorld(p, nil)
+	err := w.Run(func(c *comm.Comm) error {
+		spec := workload.Spec{Dist: workload.Zipf, Seed: 56, Span: 1e9}
+		raw, _ := spec.Rank(c.Rank(), 300)
+		local := keys.MakeUnique(raw, c.Rank())
+		ops := keys.NewTripleOps[uint64](keys.Uint64{})
+		sortutil.Sort(local, ops.Less)
+		targets := make([]int64, p-1)
+		for i := range targets {
+			targets[i] = int64((i + 1) * 300)
+		}
+		splitters, _ := FindSplitters(c, local, ops, targets, 0, Config{})
+		for i := 1; i < len(splitters); i++ {
+			if ops.Less(splitters[i], splitters[i-1]) {
+				t.Errorf("splitters not monotone at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplittersEmptyWorld(t *testing.T) {
+	w, _ := comm.NewWorld(3, nil)
+	err := w.Run(func(c *comm.Comm) error {
+		splitters, iters := FindSplitters[uint64](c, nil, keys.Uint64{}, []int64{0, 0}, 0, Config{})
+		if len(splitters) != 2 || iters != 0 {
+			t.Errorf("empty input: %d splitters, %d iters", len(splitters), iters)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderCapturesPhasesAndIterations(t *testing.T) {
+	model := simnet.SuperMUC(4, true)
+	w, _ := comm.NewWorld(8, model)
+	recs := make([]*trace.Recorder, 8)
+	var mu sync.Mutex
+	err := w.Run(func(c *comm.Comm) error {
+		spec := workload.Spec{Dist: workload.Uniform, Seed: 60, Span: 1e9}
+		local, _ := spec.Rank(c.Rank(), 2000)
+		rec := trace.NewRecorder(c.Clock())
+		_, err := Sort(c, local, u64, Config{Recorder: rec})
+		mu.Lock()
+		recs[c.Rank()] = rec
+		mu.Unlock()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Summarize(recs)
+	// With the uniqueness triples, a boundary that falls between two
+	// equal keys resolves through the 64-bit suffix, so the bound is the
+	// 128-bit embedding width rather than the key width.
+	if s.MaxIterations < 5 || s.MaxIterations > 128 {
+		t.Errorf("iterations = %d", s.MaxIterations)
+	}
+	for _, p := range []trace.Phase{trace.LocalSort, trace.Histogram, trace.Exchange, trace.Merge} {
+		if s.Times[p] <= 0 {
+			t.Errorf("phase %v has no recorded time", p)
+		}
+	}
+	if s.ExchangedBytes <= 0 {
+		t.Error("no exchange volume recorded")
+	}
+	if math.Abs(1-s.Fraction(trace.LocalSort)-s.Fraction(trace.Histogram)-
+		s.Fraction(trace.Exchange)-s.Fraction(trace.Merge)-s.Fraction(trace.Other)) > 1e-9 {
+		t.Error("fractions do not sum to 1")
+	}
+}

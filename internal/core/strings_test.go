@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/prng"
+)
+
+// TestSortStrings sorts variable-length strings, including runs sharing a
+// 16-byte prefix (which collide in the splitter embedding and are split by
+// the boundary refinement like duplicates).
+func TestSortStrings(t *testing.T) {
+	const p, perRank = 6, 400
+	ops := keys.String{}
+	w, _ := comm.NewWorld(p, nil)
+	ins := make([][]string, p)
+	outs := make([][]string, p)
+	var mu sync.Mutex
+	err := w.Run(func(c *comm.Comm) error {
+		src := prng.NewXoshiro256(uint64(c.Rank()) + 17)
+		local := make([]string, perRank)
+		for i := range local {
+			switch prng.Uint64n(src, 3) {
+			case 0: // short word
+				local[i] = fmt.Sprintf("w%06d", prng.Uint64n(src, 100000))
+			case 1: // long shared prefix, differing beyond 16 bytes
+				local[i] = fmt.Sprintf("shared-prefix-0123456789-%06d", prng.Uint64n(src, 100000))
+			default: // duplicates
+				local[i] = "the-same-string"
+			}
+		}
+		out, err := Sort(c, local, ops, Config{})
+		if err != nil {
+			return err
+		}
+		// The long-prefix strings form one indivisible run (they share
+		// their first 16 bytes), so per-rank sizes may deviate by up to
+		// that run's size; order and permutation must still be exact.
+		if len(out) > 3*perRank {
+			t.Errorf("rank %d: load %d beyond the indivisible-run bound", c.Rank(), len(out))
+		}
+		mu.Lock()
+		ins[c.Rank()] = local
+		outs[c.Rank()] = out
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all, got []string
+	for _, in := range ins {
+		all = append(all, in...)
+	}
+	prev := ""
+	first := true
+	for r, out := range outs {
+		for i, s := range out {
+			if !first && s < prev {
+				t.Fatalf("order violated at rank %d index %d: %q < %q", r, i, s, prev)
+			}
+			prev, first = s, false
+		}
+		got = append(got, out...)
+	}
+	sort.Strings(all)
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("not a permutation at %d: %q vs %q", i, got[i], all[i])
+		}
+	}
+}
+
+// TestSortStringsPerfectWhenSeparable: distinct short strings (all
+// differing within 16 bytes) must partition perfectly.
+func TestSortStringsPerfectWhenSeparable(t *testing.T) {
+	const p, perRank = 5, 300
+	ops := keys.String{}
+	w, _ := comm.NewWorld(p, nil)
+	err := w.Run(func(c *comm.Comm) error {
+		local := make([]string, perRank)
+		for i := range local {
+			local[i] = fmt.Sprintf("k%03d-%07d", i%97, i*p+c.Rank())
+		}
+		out, err := Sort(c, local, ops, Config{})
+		if err != nil {
+			return err
+		}
+		if len(out) != perRank {
+			t.Errorf("rank %d: perfect partitioning violated: %d", c.Rank(), len(out))
+		}
+		if !IsGloballySorted(c, out, ops) {
+			t.Errorf("rank %d: not globally sorted", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

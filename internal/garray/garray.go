@@ -1,0 +1,162 @@
+// Package garray provides a PGAS-style distributed array — the DASH
+// container abstraction the paper's implementation is built into ("DASH is
+// a C++14 template library based on the partitioned global address space
+// model ... we provide containers and algorithms to operate on global
+// data", §VI-A1).
+//
+// A GlobalArray is partitioned block-wise across ranks; all partitions
+// live in the world's shared process memory, so every rank can address
+// every element directly — the "global address space".  Local accesses are
+// free (the owner-computes model the paper stresses); accesses outside the
+// local partition are one-sided and priced by the cost model like the
+// MPI-3 RMA operations they stand for.
+//
+// Synchronization discipline, as with MPI-3 RMA epochs: remote accesses
+// must be separated from conflicting accesses by a Barrier.  The Go race
+// detector enforces the discipline in tests.
+package garray
+
+import (
+	"fmt"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/core"
+	"dhsort/internal/keys"
+)
+
+// GlobalArray is one rank's handle on a block-distributed array of K.
+type GlobalArray[K any] struct {
+	c      *comm.Comm
+	parts  [][]K // partition per rank, shared storage across ranks
+	starts []int64
+	total  int64
+	bytes  int
+}
+
+// New collectively allocates a global array with the given local partition
+// size on this rank (sizes may differ per rank; zero is allowed).
+// elemBytes prices one element for remote-access accounting.
+func New[K any](c *comm.Comm, localSize int, elemBytes int) (*GlobalArray[K], error) {
+	if localSize < 0 {
+		return nil, fmt.Errorf("garray: negative local size %d", localSize)
+	}
+	g := &GlobalArray[K]{c: c, bytes: elemBytes}
+	g.republish(make([]K, localSize))
+	return g, nil
+}
+
+// republish installs local as this rank's partition and refreshes every
+// rank's view of sizes and storage handles.  Collective.
+func (g *GlobalArray[K]) republish(local []K) {
+	p := g.c.Size()
+	sizes := comm.AllgatherOne(g.c, int64(len(local)))
+	g.starts = make([]int64, p+1)
+	for i, n := range sizes {
+		g.starts[i+1] = g.starts[i] + n
+	}
+	g.total = g.starts[p]
+	// Exchange slice *handles*: the payload copy duplicates the header,
+	// not the backing array, so all ranks address the same storage —
+	// the in-process equivalent of an MPI-3 shared-memory window.
+	handles := comm.AllgatherOne(g.c, &local)
+	g.parts = make([][]K, p)
+	for i, h := range handles {
+		g.parts[i] = *h
+	}
+}
+
+// Len returns the global element count.
+func (g *GlobalArray[K]) Len() int64 { return g.total }
+
+// LocalLen returns this rank's partition size.
+func (g *GlobalArray[K]) LocalLen() int { return len(g.parts[g.c.Rank()]) }
+
+// Local returns this rank's partition for direct (owner-computes) access.
+func (g *GlobalArray[K]) Local() []K { return g.parts[g.c.Rank()] }
+
+// Owner returns the rank owning global index i and the offset within its
+// partition.
+func (g *GlobalArray[K]) Owner(i int64) (rank, offset int) {
+	if i < 0 || i >= g.total {
+		panic(fmt.Sprintf("garray: index %d out of range [0,%d)", i, g.total))
+	}
+	lo, hi := 0, g.c.Size()
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if g.starts[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, int(i - g.starts[lo])
+}
+
+// Get reads the element at global index i (one-sided; priced as an RMA get
+// when the index is remote).
+func (g *GlobalArray[K]) Get(i int64) K {
+	rank, off := g.Owner(i)
+	g.charge(rank)
+	return g.parts[rank][off]
+}
+
+// Put writes the element at global index i (one-sided; priced as an RMA
+// put when the index is remote).  The caller must uphold the epoch
+// discipline documented on the package.
+func (g *GlobalArray[K]) Put(i int64, v K) {
+	rank, off := g.Owner(i)
+	g.charge(rank)
+	g.parts[rank][off] = v
+}
+
+// charge advances the clock by the cost of one remote element access.
+func (g *GlobalArray[K]) charge(rank int) {
+	m := g.c.Model()
+	if m == nil || rank == g.c.Rank() {
+		return
+	}
+	g.c.Clock().Advance(m.MsgCost(g.c.WorldRank(), g.c.WorldRankOf(rank), g.bytes))
+}
+
+// Barrier closes an access epoch: all one-sided accesses issued before it
+// are globally visible afterwards.
+func (g *GlobalArray[K]) Barrier() { comm.Barrier(g.c) }
+
+// Sort sorts the global array in place by the given key operations — the
+// paper's std::sort-style entry point on the container.  Collective.
+// With cfg.Epsilon == 0 the partition sizes are preserved; otherwise the
+// partitions are re-homed to the sorted sizes.
+func (g *GlobalArray[K]) Sort(ops keys.Ops[K], cfg core.Config) error {
+	out, err := core.Sort(g.c, g.Local(), ops, cfg)
+	if err != nil {
+		return err
+	}
+	g.republish(out)
+	return nil
+}
+
+// NthElement returns the k-th smallest element of the array on every rank
+// without sorting (dash::nth_element).  Collective.
+func (g *GlobalArray[K]) NthElement(k int64, ops keys.Ops[K]) (K, error) {
+	return core.DSelect(g.c, g.Local(), k, ops, core.Config{})
+}
+
+// Quantiles returns q-1 equi-depth cut values of the array.  Collective.
+func (g *GlobalArray[K]) Quantiles(q int, ops keys.Ops[K]) ([]K, error) {
+	return core.Quantiles(g.c, g.Local(), q, ops, core.Config{})
+}
+
+// IsSorted collectively verifies global order.
+func (g *GlobalArray[K]) IsSorted(ops keys.Ops[K]) bool {
+	return core.IsGloballySorted(g.c, g.Local(), ops)
+}
+
+// Fill sets every local element using gen(globalIndex) — the
+// owner-computes initialization pattern.
+func (g *GlobalArray[K]) Fill(gen func(i int64) K) {
+	base := g.starts[g.c.Rank()]
+	local := g.Local()
+	for i := range local {
+		local[i] = gen(base + int64(i))
+	}
+}

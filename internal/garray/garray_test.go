@@ -1,0 +1,220 @@
+package garray
+
+import (
+	"sort"
+	"testing"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/core"
+	"dhsort/internal/keys"
+	"dhsort/internal/prng"
+	"dhsort/internal/simnet"
+)
+
+var u64 = keys.Uint64{}
+
+func run(t *testing.T, p int, model *simnet.CostModel, fn func(c *comm.Comm) error) {
+	t.Helper()
+	w, err := comm.NewWorld(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewAndLayout(t *testing.T) {
+	run(t, 4, nil, func(c *comm.Comm) error {
+		// Variable partition sizes: rank r holds r+1 elements.
+		g, err := New[uint64](c, c.Rank()+1, 8)
+		if err != nil {
+			return err
+		}
+		if g.Len() != 10 {
+			t.Errorf("Len = %d", g.Len())
+		}
+		if g.LocalLen() != c.Rank()+1 {
+			t.Errorf("LocalLen = %d", g.LocalLen())
+		}
+		// Owner mapping: indices 0 | 1 2 | 3 4 5 | 6 7 8 9.
+		wantOwner := []int{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+		for i, w := range wantOwner {
+			r, _ := g.Owner(int64(i))
+			if r != w {
+				t.Errorf("Owner(%d) = %d, want %d", i, r, w)
+			}
+		}
+		return nil
+	})
+}
+
+func TestOwnerPanicsOutOfRange(t *testing.T) {
+	run(t, 2, nil, func(c *comm.Comm) error {
+		g, _ := New[uint64](c, 3, 8)
+		for _, i := range []int64{-1, 6} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("Owner(%d) must panic", i)
+					}
+				}()
+				g.Owner(i)
+			}()
+		}
+		return nil
+	})
+}
+
+func TestGlobalReadsSeeRemoteWrites(t *testing.T) {
+	run(t, 4, nil, func(c *comm.Comm) error {
+		g, err := New[uint64](c, 5, 8)
+		if err != nil {
+			return err
+		}
+		// Owner-computes fill, then everyone reads everything.
+		g.Fill(func(i int64) uint64 { return uint64(i * i) })
+		g.Barrier()
+		for i := int64(0); i < g.Len(); i++ {
+			if got := g.Get(i); got != uint64(i*i) {
+				t.Errorf("Get(%d) = %d", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPutAcrossPartitions(t *testing.T) {
+	run(t, 3, nil, func(c *comm.Comm) error {
+		g, _ := New[uint64](c, 3, 8)
+		// Rank 0 writes the whole array one-sidedly.
+		if c.Rank() == 0 {
+			for i := int64(0); i < g.Len(); i++ {
+				g.Put(i, uint64(100+i))
+			}
+		}
+		g.Barrier()
+		for i, v := range g.Local() {
+			want := uint64(100 + int64(i) + int64(c.Rank()*3))
+			if v != want {
+				t.Errorf("local[%d] = %d, want %d", i, v, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRemoteAccessCostsVirtualTime(t *testing.T) {
+	model := simnet.SuperMUC(2, true) // 2 ranks/node: rank 0 and 2 are on different nodes
+	run(t, 4, model, func(c *comm.Comm) error {
+		g, _ := New[uint64](c, 4, 8)
+		g.Barrier()
+		before := c.Clock().Now()
+		g.Get(int64(4 * ((c.Rank() + 2) % 4))) // remote partition
+		afterRemote := c.Clock().Now()
+		if afterRemote <= before {
+			t.Error("remote get must cost virtual time")
+		}
+		g.Get(int64(4 * c.Rank())) // local partition: free
+		if c.Clock().Now() != afterRemote {
+			t.Error("local get must be free")
+		}
+		return nil
+	})
+}
+
+func TestGlobalArraySort(t *testing.T) {
+	run(t, 6, nil, func(c *comm.Comm) error {
+		g, err := New[uint64](c, 500, 8)
+		if err != nil {
+			return err
+		}
+		src := prng.NewXoshiro256(uint64(c.Rank()) + 5)
+		g.Fill(func(i int64) uint64 { return prng.Uint64n(src, 1e9) })
+		g.Barrier()
+		if err := g.Sort(u64, core.Config{}); err != nil {
+			return err
+		}
+		if g.LocalLen() != 500 {
+			t.Errorf("perfect partitioning violated: %d", g.LocalLen())
+		}
+		if !g.IsSorted(u64) {
+			t.Error("array not globally sorted")
+		}
+		// Global reads across the sorted array are monotone.
+		var prev uint64
+		for i := int64(0); i < g.Len(); i += 97 {
+			v := g.Get(i)
+			if v < prev {
+				t.Errorf("global order violated at %d", i)
+			}
+			prev = v
+		}
+		return nil
+	})
+}
+
+func TestGlobalArrayNthElementAndQuantiles(t *testing.T) {
+	run(t, 4, nil, func(c *comm.Comm) error {
+		g, _ := New[uint64](c, 1000, 8)
+		src := prng.NewXoshiro256(uint64(c.Rank()) + 9)
+		g.Fill(func(i int64) uint64 { return prng.Uint64n(src, 1e6) })
+		g.Barrier()
+		med, err := g.NthElement(g.Len()/2, u64)
+		if err != nil {
+			return err
+		}
+		// Oracle on rank 0 via global reads.
+		if c.Rank() == 0 {
+			all := make([]uint64, g.Len())
+			for i := range all {
+				all[i] = g.Get(int64(i))
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			if med != all[len(all)/2] {
+				t.Errorf("median %d, want %d", med, all[len(all)/2])
+			}
+		}
+		cuts, err := g.Quantiles(4, u64)
+		if err != nil {
+			return err
+		}
+		if len(cuts) != 3 || cuts[0] > cuts[1] || cuts[1] > cuts[2] {
+			t.Errorf("quantiles malformed: %v", cuts)
+		}
+		return nil
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	run(t, 1, nil, func(c *comm.Comm) error {
+		if _, err := New[uint64](c, -1, 8); err == nil {
+			t.Error("negative size must be rejected")
+		}
+		return nil
+	})
+}
+
+func TestSortWithEpsilonRehomes(t *testing.T) {
+	run(t, 4, nil, func(c *comm.Comm) error {
+		g, _ := New[uint64](c, 400, 8)
+		src := prng.NewXoshiro256(uint64(c.Rank()) + 77)
+		g.Fill(func(i int64) uint64 { return prng.Uint64n(src, 1e9) })
+		g.Barrier()
+		if err := g.Sort(u64, core.Config{Epsilon: 0.2}); err != nil {
+			return err
+		}
+		if g.Len() != 1600 {
+			t.Errorf("total changed: %d", g.Len())
+		}
+		if !g.IsSorted(u64) {
+			t.Error("not sorted after epsilon sort")
+		}
+		// Global index space must stay consistent after re-homing.
+		last, _ := g.Owner(g.Len() - 1)
+		if last != 3 {
+			t.Errorf("last element owned by %d", last)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,304 @@
+// Package hss implements Histogram Sort with Sampling — the Charm++
+// algorithm of Harsh, Kale and Solomonik (SPAA'19, reference [1]) that the
+// paper benchmarks against in its strong- and weak-scaling studies.
+//
+// Like the paper's algorithm, HSS refines splitter probes with iterative
+// histogramming; unlike it, the probes come from *sampling*: an initial
+// oversample seeds the splitter guesses, and subsequent probes interpolate
+// the target rank inside the current histogram bounds, assuming ranks vary
+// linearly with key values.  On uniform keys this converges in very few
+// iterations; on skewed distributions the interpolation assumption breaks
+// and convergence turns volatile — the behaviour the paper observed on
+// SuperMUC ("their histogramming algorithm again shows high volatility with
+// running times from 5-25s", §VI-C; on a normal distribution it failed to
+// terminate, §VI-B).
+package hss
+
+import (
+	"dhsort/internal/comm"
+	"dhsort/internal/core"
+	"dhsort/internal/keys"
+	"dhsort/internal/prng"
+	"dhsort/internal/sortutil"
+	"dhsort/internal/trace"
+	"dhsort/internal/xmath"
+)
+
+// Config tunes an HSS run.
+type Config struct {
+	// Oversampling is the number of sample keys per rank seeding the
+	// initial probes (0 means 16, roughly the constant-per-processor
+	// sample of [1]).
+	Oversampling int
+	// Seed drives sampling.
+	Seed uint64
+	// Epsilon is the load-balance threshold of Definition 1; zero demands
+	// perfect partitioning, as in all the paper's benchmarks.
+	Epsilon float64
+	// MaxIterations caps histogram refinement (0 means 512).  When the
+	// cap is hit the current bounds are accepted; balance may then
+	// exceed Epsilon, mirroring the non-termination the paper observed.
+	MaxIterations int
+	// ForceUnique applies the duplicate-key transformation (see
+	// core.Config.ForceUnique); off by default.
+	ForceUnique bool
+	// VirtualScale prices bulk data at a multiple of its real size.
+	VirtualScale float64
+	// Recorder receives phase timings and iteration counts.
+	Recorder *trace.Recorder
+}
+
+func (cfg Config) oversampling() int {
+	if cfg.Oversampling <= 0 {
+		return 16
+	}
+	return cfg.Oversampling
+}
+
+func (cfg Config) maxIters() int {
+	if cfg.MaxIterations <= 0 {
+		return 512
+	}
+	return cfg.MaxIterations
+}
+
+func (cfg Config) coreCfg() core.Config {
+	return core.Config{
+		Epsilon:      cfg.Epsilon,
+		VirtualScale: cfg.VirtualScale,
+		Recorder:     cfg.Recorder,
+	}
+}
+
+// Sort sorts the distributed sequence collectively and returns this rank's
+// partition.  The supersteps match §III-B: sample, iteratively histogram
+// the probe vector, then one ALLTOALLV exchange and a local merge.
+func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	if !cfg.ForceUnique {
+		return sortImpl[K](c, local, ops, cfg)
+	}
+	triples := keys.MakeUnique(local, c.Rank())
+	out, err := sortImpl[keys.Triple[K]](c, triples, keys.NewTripleOps(ops), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return keys.StripUnique(out), nil
+}
+
+func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	p := c.Size()
+	model := c.Model()
+	rec := cfg.Recorder
+	scale := 1.0
+	if cfg.VirtualScale > 1 {
+		scale = cfg.VirtualScale
+	}
+
+	rec.Enter(trace.LocalSort)
+	sorted := make([]K, len(local))
+	copy(sorted, local)
+	sortutil.Sort(sorted, ops.Less)
+	if model != nil {
+		c.Clock().Advance(model.SortCost(int(float64(len(sorted)) * scale)))
+	}
+	if p == 1 {
+		rec.Finish()
+		return sorted, nil
+	}
+
+	rec.Enter(trace.Other)
+	capacities := comm.AllgatherOne(c, int64(len(local)))
+	targets := make([]int64, p-1)
+	var totalN, acc int64
+	for _, n := range capacities {
+		totalN += n
+	}
+	for i := 0; i < p-1; i++ {
+		acc += capacities[i]
+		targets[i] = acc
+	}
+	tol := int64(cfg.Epsilon * float64(totalN) / (2 * float64(p)))
+
+	rec.Enter(trace.Histogram)
+	splitters := FindSplittersSampled(c, sorted, ops, targets, tol, cfg)
+
+	rec.Enter(trace.Other)
+	cuts := core.ComputeCuts(c, sorted, ops, splitters, targets)
+	rec.Enter(trace.Exchange)
+	out := core.ExchangeAndMerge(c, sorted, ops, cuts, cfg.coreCfg())
+	rec.Finish()
+	return out, nil
+}
+
+// FindSplittersSampled is the sampled probe refinement of [1]: quantiles of
+// a gathered sample seed the probes, and failed probes are re-aimed by
+// linear interpolation of the target rank between the current histogram
+// bounds.
+func FindSplittersSampled[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []int64, tol int64, cfg Config) []K {
+	nsplit := len(targets)
+	model := c.Model()
+
+	// Sample: each rank contributes s random local keys.
+	s := cfg.oversampling()
+	var sample []K
+	if len(sorted) > 0 {
+		src := prng.NewXoshiro256(cfg.Seed ^ uint64(c.Rank()+1)*0x9e3779b97f4a7c15)
+		sample = make([]K, s)
+		for i := range sample {
+			sample[i] = sorted[prng.Uint64n(src, uint64(len(sorted)))]
+		}
+	}
+	gathered := comm.Allgather(c, sample)
+	var pool []K
+	for _, b := range gathered {
+		pool = append(pool, b...)
+	}
+	sortutil.Sort(pool, ops.Less)
+	if len(pool) == 0 {
+		return make([]K, nsplit) // globally empty
+	}
+
+	type state struct {
+		lo, hi       K     // current bound values: the answer lies in (lo, hi]
+		cntLo, cntHi int64 // ranks known at the bounds: L(lo), U(hi)
+		probe        K
+		loProbed     bool // adjacency protocol: lo itself has been probed
+		done         bool
+		value        K
+	}
+	// Global extrema and total: one reduction, as in core.
+	type mm struct {
+		Has      bool
+		Min, Max xmath.U128
+	}
+	localMM := mm{}
+	if len(sorted) > 0 {
+		localMM = mm{true, ops.ToBits(sorted[0]), ops.ToBits(sorted[len(sorted)-1])}
+	}
+	ext := comm.AllreduceOne(c, localMM, func(a, b mm) mm {
+		switch {
+		case !a.Has:
+			return b
+		case !b.Has:
+			return a
+		}
+		out := mm{Has: true, Min: a.Min, Max: a.Max}
+		if b.Min.Less(out.Min) {
+			out.Min = b.Min
+		}
+		if out.Max.Less(b.Max) {
+			out.Max = b.Max
+		}
+		return out
+	})
+	grandTotal := comm.AllreduceOne(c, int64(len(sorted)), func(a, b int64) int64 { return a + b })
+
+	states := make([]state, nsplit)
+	for i := range states {
+		st := &states[i]
+		st.lo, st.hi = ops.FromBits(ext.Min), ops.FromBits(ext.Max)
+		st.cntLo, st.cntHi = 0, grandTotal
+		// Initial probe: the matching sample quantile.
+		idx := int(int64(len(pool)) * targets[i] / maxInt64(grandTotal, 1))
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		st.probe = pool[idx]
+		if !ops.Less(st.lo, st.probe) || !ops.Less(st.probe, st.hi) {
+			// Quantile outside the open interval: start at the middle.
+			st.probe = ops.FromBits(ext.Min.Avg(ext.Max))
+		}
+		switch {
+		case targets[i] <= 0:
+			st.done, st.value = true, st.lo
+		case targets[i] >= grandTotal:
+			st.done, st.value = true, st.hi
+		case !ops.Less(st.lo, st.hi):
+			// Single distinct value: it is every splitter.
+			st.done, st.value = true, st.hi
+		case !ops.Less(st.lo, st.probe) || !ops.Less(st.probe, st.hi):
+			// Adjacent extrema: probe the lower bound directly.
+			st.probe, st.loProbed = st.lo, true
+		}
+	}
+
+	hist := make([]int64, 0, 2*nsplit)
+	for iter := 0; iter < cfg.maxIters(); iter++ {
+		var active []int
+		for i := range states {
+			if !states[i].done {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		cfg.Recorder.AddIteration()
+
+		hist = hist[:0]
+		for _, i := range active {
+			l := int64(sortutil.LowerBound(sorted, states[i].probe, ops.Less))
+			u := int64(sortutil.UpperBound(sorted, states[i].probe, ops.Less))
+			hist = append(hist, l, u)
+		}
+		if model != nil {
+			c.Clock().Advance(model.SearchCost(len(sorted), 2*len(active)))
+		}
+		global := comm.Allreduce(c, hist, func(a, b int64) int64 { return a + b })
+
+		for ai, i := range active {
+			st := &states[i]
+			L, U := global[2*ai], global[2*ai+1]
+			T := targets[i]
+			switch {
+			case L-tol < T && T <= U+tol:
+				st.done, st.value = true, st.probe
+				continue
+			case L >= T:
+				// The split point lies at or below the probe.
+				st.hi, st.cntHi = st.probe, U
+			default: // U < T: strictly above the probe.
+				st.lo, st.cntLo = st.probe, L
+			}
+			// Re-aim by interpolating the target rank between the bounds
+			// — the sampling assumption of [1].
+			frac := 0.5
+			if st.cntHi > st.cntLo {
+				frac = float64(T-st.cntLo) / float64(st.cntHi-st.cntLo)
+			}
+			next := ops.FromBits(xmath.Lerp(ops.ToBits(st.lo), ops.ToBits(st.hi), frac))
+			if !ops.Less(st.lo, next) || !ops.Less(next, st.hi) {
+				// Interpolation collapsed onto a bound; try bisection.
+				next = ops.FromBits(ops.ToBits(st.lo).Avg(ops.ToBits(st.hi)))
+			}
+			switch {
+			case ops.Less(st.lo, next) && ops.Less(next, st.hi):
+				st.probe = next
+			case !st.loProbed:
+				// lo and hi are adjacent representable values: the split
+				// point is lo or hi.  Probe lo once; if it fails, hi is
+				// the answer.
+				st.probe, st.loProbed = st.lo, true
+			default:
+				st.done, st.value = true, st.hi
+			}
+		}
+	}
+	out := make([]K, nsplit)
+	for i := range states {
+		st := &states[i]
+		if !st.done {
+			st.value = st.hi
+		}
+		out[i] = st.value
+	}
+	sortutil.Sort(out, ops.Less)
+	return out
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package hss
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/simnet"
+	"dhsort/internal/trace"
+	"dhsort/internal/workload"
+)
+
+var u64 = keys.Uint64{}
+
+func runIt(t *testing.T, p, perRank int, spec workload.Spec, cfg Config, model *simnet.CostModel) (ins, outs [][]uint64) {
+	t.Helper()
+	w, err := comm.NewWorld(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins = make([][]uint64, p)
+	outs = make([][]uint64, p)
+	var mu sync.Mutex
+	err = w.Run(func(c *comm.Comm) error {
+		local, err := spec.Rank(c.Rank(), perRank)
+		if err != nil {
+			return err
+		}
+		out, err := Sort(c, local, u64, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		ins[c.Rank()] = local
+		outs[c.Rank()] = out
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, outs
+}
+
+func checkOutput(t *testing.T, ins, outs [][]uint64, perfect bool) {
+	t.Helper()
+	var all, got []uint64
+	for _, in := range ins {
+		all = append(all, in...)
+	}
+	var prev uint64
+	first := true
+	for r, out := range outs {
+		for i, v := range out {
+			if !first && v < prev {
+				t.Fatalf("order violated at rank %d index %d", r, i)
+			}
+			prev, first = v, false
+		}
+		got = append(got, out...)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("count changed: %d -> %d", len(all), len(got))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("not a permutation at %d", i)
+		}
+	}
+	if perfect {
+		for r := range ins {
+			if len(outs[r]) != len(ins[r]) {
+				t.Fatalf("perfect partitioning violated on rank %d: %d vs %d", r, len(outs[r]), len(ins[r]))
+			}
+		}
+	}
+}
+
+func TestHSSUniform(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		spec := workload.Spec{Dist: workload.Uniform, Seed: uint64(p), Span: 1e9}
+		ins, outs := runIt(t, p, 400, spec, Config{Seed: 2}, nil)
+		checkOutput(t, ins, outs, true)
+	}
+}
+
+func TestHSSNormalAndSkewed(t *testing.T) {
+	for _, d := range []workload.Distribution{workload.Normal, workload.Zipf, workload.NearlySorted} {
+		spec := workload.Spec{Dist: d, Seed: 3, Span: 1e9}
+		ins, outs := runIt(t, 8, 500, spec, Config{Seed: 4}, nil)
+		checkOutput(t, ins, outs, true)
+	}
+}
+
+func TestHSSDuplicates(t *testing.T) {
+	for _, d := range []workload.Distribution{workload.DuplicateHeavy, workload.AllEqual} {
+		spec := workload.Spec{Dist: d, Seed: 5, Span: 1e9}
+		ins, outs := runIt(t, 6, 300, spec, Config{Seed: 6}, nil)
+		checkOutput(t, ins, outs, true)
+	}
+}
+
+func TestHSSSparse(t *testing.T) {
+	spec := workload.Spec{Dist: workload.Uniform, Seed: 5, Span: 1e9, Sparse: 3}
+	ins, outs := runIt(t, 9, 200, spec, Config{Seed: 6}, nil)
+	checkOutput(t, ins, outs, true)
+}
+
+func TestHSSEpsilonRelaxed(t *testing.T) {
+	spec := workload.Spec{Dist: workload.Uniform, Seed: 15, Span: 1e9}
+	ins, outs := runIt(t, 8, 600, spec, Config{Seed: 6, Epsilon: 0.2}, nil)
+	checkOutput(t, ins, outs, false)
+	n := 0
+	for _, in := range ins {
+		n += len(in)
+	}
+	bound := int(float64(n)*1.2/8) + 1
+	for r, out := range outs {
+		if len(out) > bound {
+			t.Errorf("rank %d exceeds epsilon bound: %d > %d", r, len(out), bound)
+		}
+	}
+}
+
+func TestHSSConvergesFasterOnUniformThanSkewed(t *testing.T) {
+	// The sampling/interpolation assumption of [1]: uniform keys converge
+	// in few iterations; skew slows convergence (the volatility the paper
+	// observed, §VI-B/C).
+	iters := func(d workload.Distribution) int {
+		p := 8
+		w, _ := comm.NewWorld(p, nil)
+		recs := make([]*trace.Recorder, p)
+		var mu sync.Mutex
+		err := w.Run(func(c *comm.Comm) error {
+			spec := workload.Spec{Dist: d, Seed: 21, Span: 1e9}
+			local, _ := spec.Rank(c.Rank(), 1000)
+			rec := trace.NewRecorder(c.Clock())
+			_, err := Sort(c, local, u64, Config{Seed: 9, Recorder: rec})
+			mu.Lock()
+			recs[c.Rank()] = rec
+			mu.Unlock()
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Summarize(recs).MaxIterations
+	}
+	uni := iters(workload.Uniform)
+	zipf := iters(workload.Zipf)
+	if uni == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	if zipf < uni {
+		t.Logf("note: zipf converged faster than uniform (%d vs %d) on this seed", zipf, uni)
+	}
+	if uni > 60 {
+		t.Errorf("uniform keys should converge quickly, took %d iterations", uni)
+	}
+}
+
+func TestHSSUnderCostModel(t *testing.T) {
+	model := simnet.SuperMUC(4, true)
+	spec := workload.Spec{Dist: workload.Uniform, Seed: 23, Span: 1e9}
+	ins, outs := runIt(t, 12, 250, spec, Config{Seed: 3}, model)
+	checkOutput(t, ins, outs, true)
+}
+
+func TestHSSForceUniqueStillSorts(t *testing.T) {
+	spec := workload.Spec{Dist: workload.DuplicateHeavy, Seed: 25, Span: 1e9}
+	ins, outs := runIt(t, 5, 300, spec, Config{Seed: 3, ForceUnique: true}, nil)
+	checkOutput(t, ins, outs, true)
+}

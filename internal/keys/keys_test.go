@@ -1,0 +1,153 @@
+package keys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dhsort/internal/xmath"
+)
+
+// checkOps verifies the Ops contract on a set of sample keys: order
+// preservation of the embedding, idempotent roundtrip, and midpoint
+// containment.
+func checkOps[K any](t *testing.T, ops Ops[K], samples []K) {
+	t.Helper()
+	for _, a := range samples {
+		ba := ops.ToBits(a)
+		if got := ops.ToBits(ops.FromBits(ba)); got != ba {
+			t.Errorf("roundtrip not idempotent for %v: %v -> %v", a, ba, got)
+		}
+		for _, b := range samples {
+			bb := ops.ToBits(b)
+			if ops.Less(a, b) != ba.Less(bb) {
+				t.Errorf("order not preserved: Less(%v,%v)=%v but bits %v vs %v", a, b, ops.Less(a, b), ba, bb)
+			}
+			if ops.Less(a, b) {
+				mid := ba.Avg(bb)
+				k := ops.FromBits(mid)
+				if ops.Less(k, a) || ops.Less(b, k) {
+					t.Errorf("midpoint %v of (%v,%v) escapes interval", k, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	checkOps[uint64](t, Uint64{}, []uint64{0, 1, 2, 1 << 32, 1<<63 - 1, 1 << 63, ^uint64(0)})
+}
+
+func TestInt64Ops(t *testing.T) {
+	checkOps[int64](t, Int64{}, []int64{math.MinInt64, -5, -1, 0, 1, 7, math.MaxInt64})
+}
+
+func TestFloat64Ops(t *testing.T) {
+	checkOps[float64](t, Float64{}, []float64{math.Inf(-1), -1e300, -1, -1e-300, 0, 1e-300, 1, 1e300, math.Inf(1)})
+}
+
+func TestUint32Ops(t *testing.T) {
+	checkOps[uint32](t, Uint32{}, []uint32{0, 1, 1 << 16, 1<<31 - 1, 1 << 31, ^uint32(0)})
+}
+
+func TestInt32Ops(t *testing.T) {
+	checkOps[int32](t, Int32{}, []int32{math.MinInt32, -3, 0, 3, math.MaxInt32})
+}
+
+func TestFloat32Ops(t *testing.T) {
+	checkOps[float32](t, Float32{}, []float32{float32(math.Inf(-1)), -1e30, -1, 0, 1, 1e30, float32(math.Inf(1))})
+}
+
+func TestOpsOrderQuick(t *testing.T) {
+	u := Uint64{}
+	f := func(a, b uint64) bool {
+		return (a < b) == u.ToBits(a).Less(u.ToBits(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	fo := Float64{}
+	g := func(ab, bb uint64) bool {
+		a, b := math.Float64frombits(ab), math.Float64frombits(bb)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a == b {
+			return true
+		}
+		return (a < b) == fo.ToBits(a).Less(fo.ToBits(b))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleOpsOrder(t *testing.T) {
+	ops := NewTripleOps[uint64](Uint64{})
+	samples := []Triple[uint64]{
+		{0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {5, 0, 0}, {5, 0, 2}, {5, 3, 1},
+		{^uint64(0), 0, 0}, {^uint64(0), ^uint32(0), ^uint32(0)},
+	}
+	checkOps[Triple[uint64]](t, ops, samples)
+}
+
+func TestTripleOpsEqualKeysDistinct(t *testing.T) {
+	ops := NewTripleOps[uint64](Uint64{})
+	a := Triple[uint64]{Key: 42, Rank: 1, Index: 9}
+	b := Triple[uint64]{Key: 42, Rank: 2, Index: 0}
+	if !ops.Less(a, b) || ops.Less(b, a) {
+		t.Fatal("equal keys must be totally ordered by (rank,index)")
+	}
+	if ops.ToBits(a) == ops.ToBits(b) {
+		t.Fatal("distinct triples must have distinct embeddings")
+	}
+}
+
+func TestTripleBisectionTerminates(t *testing.T) {
+	// With every key equal, repeated bisection of the triple space must
+	// still strictly narrow: at most 128 iterations to collapse.
+	ops := NewTripleOps[uint64](Uint64{})
+	lo := ops.ToBits(Triple[uint64]{Key: 7, Rank: 0, Index: 0})
+	hi := ops.ToBits(Triple[uint64]{Key: 7, Rank: 1000, Index: 55})
+	n := 0
+	for lo.Less(hi) {
+		mid := lo.Avg(hi)
+		if mid == lo {
+			break
+		}
+		hi = mid
+		n++
+		if n > 128 {
+			t.Fatal("bisection did not terminate in 128 steps")
+		}
+	}
+}
+
+func TestMakeStripUnique(t *testing.T) {
+	in := []uint64{9, 9, 3, 9}
+	tr := MakeUnique(in, 4)
+	for i, x := range tr {
+		if x.Rank != 4 || x.Index != uint32(i) || x.Key != in[i] {
+			t.Fatalf("triple %d = %+v", i, x)
+		}
+	}
+	out := StripUnique(tr)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("strip mismatch at %d", i)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if (Uint64{}).Bytes() != 8 || (Uint32{}).Bytes() != 4 || (Float32{}).Bytes() != 4 {
+		t.Error("scalar Bytes wrong")
+	}
+	if NewTripleOps[uint32](Uint32{}).Bytes() != 12 {
+		t.Error("triple Bytes must add the 8-byte suffix")
+	}
+}
+
+var _ = []Ops[uint64]{Uint64{}} // interface conformance
+var _ Ops[Triple[float64]] = TripleOps[float64]{Base: Float64{}}
+var _ = xmath.U128{}

@@ -1,0 +1,43 @@
+package keys
+
+import (
+	"reflect"
+
+	"dhsort/internal/xmath"
+)
+
+// Pair carries a sortable key together with opaque satellite data, so
+// records can be sorted by key (the std::sort-with-struct use case the
+// paper's STL-like interface targets).
+type Pair[K, V any] struct {
+	Key K
+	Val V
+}
+
+// PairOps lifts a key Ops to Pair records.  Ordering and splitter bisection
+// use only the key; splitter values materialize with a zero Val (they are
+// pivot values, never data).  Records with equal keys are split across
+// ranks by the exchange refinement exactly like duplicate plain keys.
+type PairOps[K, V any] struct {
+	Base Ops[K]
+}
+
+// NewPairOps returns Ops for Pair[K, V] on top of base.
+func NewPairOps[K, V any](base Ops[K]) PairOps[K, V] { return PairOps[K, V]{Base: base} }
+
+// Less orders by key only.
+func (p PairOps[K, V]) Less(a, b Pair[K, V]) bool { return p.Base.Less(a.Key, b.Key) }
+
+// ToBits embeds the key only; satellite data does not affect splitters.
+func (p PairOps[K, V]) ToBits(k Pair[K, V]) xmath.U128 { return p.Base.ToBits(k.Key) }
+
+// FromBits materializes a pivot record with zero satellite data.
+func (p PairOps[K, V]) FromBits(b xmath.U128) Pair[K, V] {
+	return Pair[K, V]{Key: p.Base.FromBits(b)}
+}
+
+// Bytes is the wire size of one record: key plus satellite payload.
+func (p PairOps[K, V]) Bytes() int {
+	var v V
+	return p.Base.Bytes() + int(reflect.TypeOf(&v).Elem().Size())
+}

@@ -1,0 +1,64 @@
+package keys
+
+import "dhsort/internal/xmath"
+
+// String is the Ops instance for string keys, ordered lexicographically by
+// bytes.
+//
+// The embedding uses the first 16 bytes of the string (zero-padded,
+// big-endian), which is monotone but not injective: distinct strings
+// sharing a 16-byte prefix map to the same bit point and are therefore
+// *indivisible* for splitter purposes — they always land on one rank
+// together.  Global order is exact for arbitrary strings; perfect
+// partitioning is exact up to the largest such indivisible run (zero for
+// inputs whose distinct keys differ within their first 16 bytes; exact
+// duplicates are always split perfectly by the boundary refinement).
+// Strings with trailing NUL bytes additionally collapse onto their
+// NUL-trimmed form.
+type String struct{}
+
+// Less orders lexicographically by bytes.
+func (String) Less(a, b string) bool { return a < b }
+
+// ToBits embeds the zero-padded 16-byte prefix, preserving order.
+func (String) ToBits(k string) xmath.U128 {
+	var hi, lo uint64
+	for i := 0; i < 8; i++ {
+		hi <<= 8
+		if i < len(k) {
+			hi |= uint64(k[i])
+		}
+	}
+	for i := 8; i < 16; i++ {
+		lo <<= 8
+		if i < len(k) {
+			lo |= uint64(k[i])
+		}
+	}
+	return xmath.U128FromParts(hi, lo)
+}
+
+// FromBits materializes the shortest string of the bit point: the 16 bytes
+// big-endian with trailing NULs trimmed, so pivot values compare equal to
+// the short strings they represent.
+func (String) FromBits(b xmath.U128) string {
+	var buf [16]byte
+	for i := 7; i >= 0; i-- {
+		buf[i] = byte(b.Hi)
+		b.Hi >>= 8
+	}
+	for i := 15; i >= 8; i-- {
+		buf[i] = byte(b.Lo)
+		b.Lo >>= 8
+	}
+	end := 16
+	for end > 0 && buf[end-1] == 0 {
+		end--
+	}
+	return string(buf[:end])
+}
+
+// Bytes is the assumed average wire size of a string key (header + short
+// payload); exact volumes depend on the data and are approximated for cost
+// accounting.
+func (String) Bytes() int { return 24 }

@@ -1,0 +1,56 @@
+package keys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringOpsOrderMonotone(t *testing.T) {
+	ops := String{}
+	f := func(a, b string) bool {
+		ba, bb := ops.ToBits(a), ops.ToBits(b)
+		if a < b {
+			// Monotone (non-strict: shared 16-byte prefixes collide).
+			return !bb.Less(ba)
+		}
+		if b < a {
+			return !ba.Less(bb)
+		}
+		return ba == bb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringOpsRoundtripIdempotent(t *testing.T) {
+	ops := String{}
+	for _, s := range []string{"", "a", "hello", strings.Repeat("x", 16), strings.Repeat("y", 40), "abc\x00def"} {
+		b := ops.ToBits(s)
+		if got := ops.ToBits(ops.FromBits(b)); got != b {
+			t.Errorf("roundtrip of %q not idempotent", s)
+		}
+	}
+}
+
+func TestStringOpsPrefixCollision(t *testing.T) {
+	ops := String{}
+	long1 := strings.Repeat("p", 16) + "aaa"
+	long2 := strings.Repeat("p", 16) + "zzz"
+	if ops.ToBits(long1) != ops.ToBits(long2) {
+		t.Error("16-byte-prefix sharers must collide in the embedding")
+	}
+	if !ops.Less(long1, long2) {
+		t.Error("full comparison must still distinguish them")
+	}
+}
+
+func TestStringOpsMidpoint(t *testing.T) {
+	ops := String{}
+	lo, hi := "apple", "banana"
+	mid := ops.FromBits(ops.ToBits(lo).Avg(ops.ToBits(hi)))
+	if mid < lo || mid > hi {
+		t.Errorf("midpoint %q escapes [%q, %q]", mid, lo, hi)
+	}
+}

@@ -1,0 +1,60 @@
+package prng
+
+// MT19937_64 is the 64-bit Mersenne Twister of Matsumoto and Nishimura,
+// bit-compatible with C++ std::mt19937_64 — the engine the paper's benchmark
+// driver uses to generate keys.
+type MT19937_64 struct {
+	mt  [nn]uint64
+	mti int
+}
+
+const (
+	nn        = 312
+	mm        = 156
+	matrixA   = 0xB5026F5AA96619E9
+	upperMask = 0xFFFFFFFF80000000
+	lowerMask = 0x7FFFFFFF
+)
+
+// NewMT19937_64 returns a generator seeded with seed, using the reference
+// initialization (identical to std::mt19937_64{seed}).
+func NewMT19937_64(seed uint64) *MT19937_64 {
+	m := &MT19937_64{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed reinitializes the state from seed.
+func (m *MT19937_64) Seed(seed uint64) {
+	m.mt[0] = seed
+	for i := 1; i < nn; i++ {
+		m.mt[i] = 6364136223846793005*(m.mt[i-1]^(m.mt[i-1]>>62)) + uint64(i)
+	}
+	m.mti = nn
+}
+
+// Uint64 returns the next value of the stream.
+func (m *MT19937_64) Uint64() uint64 {
+	if m.mti >= nn {
+		var i int
+		mag01 := [2]uint64{0, matrixA}
+		for i = 0; i < nn-mm; i++ {
+			x := (m.mt[i] & upperMask) | (m.mt[i+1] & lowerMask)
+			m.mt[i] = m.mt[i+mm] ^ (x >> 1) ^ mag01[x&1]
+		}
+		for ; i < nn-1; i++ {
+			x := (m.mt[i] & upperMask) | (m.mt[i+1] & lowerMask)
+			m.mt[i] = m.mt[i+mm-nn] ^ (x >> 1) ^ mag01[x&1]
+		}
+		x := (m.mt[nn-1] & upperMask) | (m.mt[0] & lowerMask)
+		m.mt[nn-1] = m.mt[mm-1] ^ (x >> 1) ^ mag01[x&1]
+		m.mti = 0
+	}
+	x := m.mt[m.mti]
+	m.mti++
+	x ^= (x >> 29) & 0x5555555555555555
+	x ^= (x << 17) & 0x71D67FFFEDA60000
+	x ^= (x << 37) & 0xFFF7EEE000000000
+	x ^= x >> 43
+	return x
+}

@@ -1,0 +1,119 @@
+// Package prng implements the pseudo-random generators used by the
+// benchmark workloads.
+//
+// The paper generates keys with a Mersenne Twister engine from the C++ STL
+// (std::mt19937_64); MT19937-64 is reproduced here bit-exactly.  splitmix64
+// is provided for seeding and cheap per-rank streams, and xoshiro256** as a
+// fast general-purpose engine.  All generators are deterministic given their
+// seed, so every experiment in this repository is reproducible.
+package prng
+
+import "math"
+
+// Source is a stream of uniform 64-bit values.
+type Source interface {
+	Uint64() uint64
+}
+
+// Float64 derives a uniform float64 in [0,1) from src (53 significant bits).
+func Float64(src Source) float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform value in [0,n) using Lemire's multiply-shift
+// rejection method.  n must be > 0.
+func Uint64n(src Source, n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return src.Uint64() & (n - 1)
+	}
+	// Classic modulo rejection; threshold avoids bias.
+	threshold := -n % n
+	for {
+		v := src.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and standard
+// deviation 1 using the Box–Muller transform (polar form).
+type boxMullerState struct {
+	cached bool
+	value  float64
+}
+
+// Normal wraps a Source with Box–Muller normal deviates.
+type Normal struct {
+	Src Source
+	bm  boxMullerState
+}
+
+// Next returns the next standard normal deviate.
+func (n *Normal) Next() float64 {
+	if n.bm.cached {
+		n.bm.cached = false
+		return n.bm.value
+	}
+	for {
+		u := 2*Float64(n.Src) - 1
+		v := 2*Float64(n.Src) - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		n.bm.cached = true
+		n.bm.value = v * f
+		return u * f
+	}
+}
+
+// SplitMix64 is Vigna's splitmix64: a tiny, high-quality generator that is
+// ideal for seeding other generators and for independent per-rank streams.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next value of the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** 1.0 generator.
+type Xoshiro256 struct{ s [4]uint64 }
+
+// NewXoshiro256 returns a Xoshiro256 seeded from seed via splitmix64, as the
+// reference implementation recommends.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value of the stream.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}

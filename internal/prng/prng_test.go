@@ -1,0 +1,142 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference values for MT19937-64 seeded with 5489 (the std::mt19937_64
+// default seed), from the Matsumoto/Nishimura reference implementation.
+func TestMT19937_64Reference(t *testing.T) {
+	m := NewMT19937_64(5489)
+	want := []uint64{
+		14514284786278117030,
+		4620546740167642908,
+		13109570281517897720,
+		17462938647148434322,
+		355488278567739596,
+		7469126240319926998,
+		4635995468481642529,
+		418970542659199878,
+		9604170989252516556,
+		6358044926049913402,
+	}
+	for i, w := range want {
+		if got := m.Uint64(); got != w {
+			t.Fatalf("value %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMT19937_64TenThousandth(t *testing.T) {
+	// The reference implementation's mt19937-64.out lists the 10000th
+	// output (seeded via init_genrand64(5489) equivalently to seed 5489)
+	// — we verify against a locally computed invariant instead: the
+	// stream must be reproducible and differ across seeds.
+	a := NewMT19937_64(5489)
+	b := NewMT19937_64(5489)
+	c := NewMT19937_64(12345)
+	var va, vb, vc uint64
+	for i := 0; i < 10000; i++ {
+		va, vb, vc = a.Uint64(), b.Uint64(), c.Uint64()
+	}
+	if va != vb {
+		t.Fatal("same seed must give same stream")
+	}
+	if va == vc {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+func TestSplitMix64Reference(t *testing.T) {
+	// Reference values for splitmix64 with seed 1234567 (from the public
+	// reference implementation test vectors).
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("value %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a, b := NewXoshiro256(99), NewXoshiro256(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("xoshiro not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSplitMix64(1)
+	for i := 0; i < 10000; i++ {
+		f := Float64(s)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestUint64nUniformAndInRange(t *testing.T) {
+	s := NewXoshiro256(7)
+	const n = 10
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := Uint64n(s, n)
+		if v >= n {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from uniform", i, c)
+		}
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	s := NewSplitMix64(3)
+	for i := 0; i < 1000; i++ {
+		if v := Uint64n(s, 64); v >= 64 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Uint64n(NewSplitMix64(0), 0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	n := &Normal{Src: NewMT19937_64(42)}
+	const draws = 200000
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		v := n.Next()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / draws
+	variance := sumsq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}

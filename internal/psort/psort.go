@@ -1,0 +1,184 @@
+// Package psort provides shared-memory parallel sorting and merging — the
+// stand-ins for Intel Parallel STL (TBB task-based merge sort) and the
+// OpenMP task merge sort that Fig. 4 benchmarks against, plus the parallel
+// k-way merge variants of the §VI-E study.
+//
+// The implementations are real fork-join algorithms over goroutines.  The
+// Fig. 4 *scaling* numbers under NUMA come from the simnet cost model (see
+// the bench package); these functions provide the correct algorithms and
+// the real-time path.
+package psort
+
+import (
+	"sync"
+
+	"dhsort/internal/sortutil"
+)
+
+// ParallelMergeSort sorts a with a fork-join merge sort using at most
+// threads concurrent workers — the TBB parallel stable sort stand-in.
+// threads < 1 means 1.  The sort is stable.
+func ParallelMergeSort[T any](a []T, less func(a, b T) bool, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	parallelMergeSort(a, make([]T, len(a)), less, threads)
+}
+
+// parallelMergeSort recursively splits while parallel budget remains, then
+// falls back to the sequential stable sort.
+func parallelMergeSort[T any](a, buf []T, less func(a, b T) bool, budget int) {
+	const cutoff = 4096
+	if len(a) <= cutoff || budget <= 1 {
+		sortutil.StableSort(a, less)
+		return
+	}
+	mid := len(a) / 2
+	var inner sync.WaitGroup
+	inner.Add(1)
+	go func() {
+		defer inner.Done()
+		parallelMergeSort(a[:mid], buf[:mid], less, budget/2)
+	}()
+	parallelMergeSort(a[mid:], buf[mid:], less, budget-budget/2)
+	inner.Wait()
+	// Merge halves through the scratch buffer.
+	copy(buf, a)
+	mergeHalves(a, buf[:mid], buf[mid:], less)
+}
+
+func mergeHalves[T any](dst, left, right []T, less func(a, b T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(left) && j < len(right) {
+		if less(right[j], left[i]) {
+			dst[k] = right[j]
+			j++
+		} else {
+			dst[k] = left[i]
+			i++
+		}
+		k++
+	}
+	for i < len(left) {
+		dst[k] = left[i]
+		i++
+		k++
+	}
+	for j < len(right) {
+		dst[k] = right[j]
+		j++
+		k++
+	}
+}
+
+// ParallelTaskMergeSort sorts a in the OpenMP-task style: the array is cut
+// into `threads` chunks sorted concurrently, then merged with a pairwise
+// tree whose merges also run concurrently.  The sort is not stable.
+func ParallelTaskMergeSort[T any](a []T, less func(a, b T) bool, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	chunks := make([][]T, 0, threads)
+	for i := 0; i < threads; i++ {
+		lo, hi := i*n/threads, (i+1)*n/threads
+		if lo < hi {
+			chunks = append(chunks, a[lo:hi])
+		}
+	}
+	var wg sync.WaitGroup
+	for _, ch := range chunks {
+		wg.Add(1)
+		go func(ch []T) {
+			defer wg.Done()
+			sortutil.Sort(ch, less)
+		}(ch)
+	}
+	wg.Wait()
+	merged := ParallelMergeKBinary(chunks, less, threads)
+	copy(a, merged)
+}
+
+// ParallelMergeKBinary merges k sorted runs with a binary merge tree whose
+// pairwise merges of one round run concurrently on up to threads workers —
+// "all pairwise merges can be performed in parallel" (§V-C).
+func ParallelMergeKBinary[T any](runs [][]T, less func(a, b T) bool, threads int) []T {
+	if threads < 1 {
+		threads = 1
+	}
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]T, len(runs[0]))
+		copy(out, runs[0])
+		return out
+	}
+	cur := make([][]T, len(runs))
+	copy(cur, runs)
+	sem := make(chan struct{}, threads)
+	for len(cur) > 1 {
+		nxt := make([][]T, (len(cur)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i+1 < len(cur); i += 2 {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(out *[]T, a, b []T) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				*out = sortutil.Merge(a, b, less)
+			}(&nxt[i/2], cur[i], cur[i+1])
+		}
+		if len(cur)%2 == 1 {
+			nxt[len(nxt)-1] = cur[len(cur)-1]
+		}
+		wg.Wait()
+		cur = nxt
+	}
+	return cur[0]
+}
+
+// MergeAlgorithm names one of the §VI-E k-way merge strategies.
+type MergeAlgorithm string
+
+// The merge algorithms compared in §VI-E.
+const (
+	// BinaryTreeMerge is the parallel binary merge tree ("our own k-way
+	// binary merge using OpenMP tasks").
+	BinaryTreeMerge MergeAlgorithm = "binary-tree"
+	// TournamentMerge is the loser-tree merge ("GNU Parallel provides a
+	// multi-threaded k-way merge routine using tournament trees";
+	// sequential here — its cache behaviour is the point).
+	TournamentMerge MergeAlgorithm = "tournament"
+	// ResortMerge ignores run boundaries and re-sorts ("processing many
+	// merge tasks in parallel with another parallel sort clearly
+	// outperforms merging").
+	ResortMerge MergeAlgorithm = "resort"
+)
+
+// MergeAlgorithms lists the §VI-E contenders.
+var MergeAlgorithms = []MergeAlgorithm{BinaryTreeMerge, TournamentMerge, ResortMerge}
+
+// MergeK dispatches to the chosen algorithm with the given worker budget.
+func MergeK[T any](alg MergeAlgorithm, runs [][]T, less func(a, b T) bool, threads int) []T {
+	switch alg {
+	case TournamentMerge:
+		return sortutil.MergeKLoser(runs, less)
+	case ResortMerge:
+		n := 0
+		for _, r := range runs {
+			n += len(r)
+		}
+		out := make([]T, 0, n)
+		for _, r := range runs {
+			out = append(out, r...)
+		}
+		ParallelTaskMergeSort(out, less, threads)
+		return out
+	default:
+		return ParallelMergeKBinary(runs, less, threads)
+	}
+}

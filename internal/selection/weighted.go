@@ -1,0 +1,104 @@
+package selection
+
+// Weighted pairs a value with a positive weight.
+type Weighted[T any] struct {
+	Value  T
+	Weight float64
+}
+
+// WeightedMedian returns an element m of items satisfying Definition 2 of
+// the paper:
+//
+//	sum_{x_i < m} w_i < 1/2   and   sum_{x_i > m} w_i <= 1/2
+//
+// with weights normalized to sum to 1.  items is permuted.  It panics on an
+// empty input or non-positive total weight.
+//
+// The implementation is the quickselect adaptation sketched in §IV-A:
+// partition around a pivot and recurse on the side that carries too much
+// weight, achieving expected O(n).
+func WeightedMedian[T any](items []Weighted[T], less func(a, b T) bool) T {
+	if len(items) == 0 {
+		panic("selection: weighted median of empty set")
+	}
+	var total float64
+	for _, it := range items {
+		if it.Weight < 0 {
+			panic("selection: negative weight")
+		}
+		total += it.Weight
+	}
+	if total <= 0 {
+		panic("selection: total weight must be positive")
+	}
+	half := total / 2
+	lo, hi := 0, len(items)
+	wLeftOutside := 0.0 // weight strictly below items[lo:hi]
+	lessW := func(a, b Weighted[T]) bool { return less(a.Value, b.Value) }
+	for {
+		if hi-lo == 1 {
+			return items[lo].Value
+		}
+		p := medianOfThreeIndex(items, lessW, lo, lo+(hi-lo)/2, hi-1)
+		pivot := items[p].Value
+		// Three-way partition so duplicate values form one middle block;
+		// their weight must count neither below nor above the pivot.
+		lt, gt := threeWayPartition(items, lo, hi, pivot, less)
+		wl, we := wLeftOutside, 0.0
+		for i := lo; i < lt; i++ {
+			wl += items[i].Weight
+		}
+		for i := lt; i < gt; i++ {
+			we += items[i].Weight
+		}
+		wr := total - wl - we
+		switch {
+		case wl < half && wr <= half:
+			return pivot
+		case wl >= half:
+			// Too much weight below: the weighted median is in the left part.
+			hi = lt
+		default:
+			// Too much weight above: move right, absorbing left + equals.
+			wLeftOutside = wl + we
+			lo = gt
+		}
+	}
+}
+
+// threeWayPartition rearranges items[lo:hi) into [lo,lt) < pivot,
+// [lt,gt) == pivot, [gt,hi) > pivot and returns (lt, gt).
+func threeWayPartition[T any](items []Weighted[T], lo, hi int, pivot T, less func(a, b T) bool) (int, int) {
+	lt, i, gt := lo, lo, hi
+	for i < gt {
+		switch {
+		case less(items[i].Value, pivot):
+			items[i], items[lt] = items[lt], items[i]
+			lt++
+			i++
+		case less(pivot, items[i].Value):
+			gt--
+			items[i], items[gt] = items[gt], items[i]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+// CheckWeightedMedian reports whether m satisfies Definition 2 over items
+// (with weights normalized internally).  Used by tests and by the
+// distributed-selection invariant checks.
+func CheckWeightedMedian[T any](items []Weighted[T], m T, less func(a, b T) bool) bool {
+	var total, below, above float64
+	for _, it := range items {
+		total += it.Weight
+		switch {
+		case less(it.Value, m):
+			below += it.Weight
+		case less(m, it.Value):
+			above += it.Weight
+		}
+	}
+	return below < total/2 && above <= total/2
+}

@@ -1,0 +1,49 @@
+package simnet
+
+import "time"
+
+// Clock is one rank's notion of time.  In virtual mode (model != nil) it is
+// a plain accumulator advanced by cost-model charges and message arrivals;
+// in real mode it reads the wall clock and charges are no-ops.
+//
+// A Clock is owned by a single rank goroutine and must not be shared.
+type Clock struct {
+	model *CostModel
+	now   time.Duration
+	start time.Time
+}
+
+// NewClock returns a clock for the given model (nil model = wall clock).
+func NewClock(model *CostModel) *Clock {
+	return &Clock{model: model, start: time.Now()}
+}
+
+// Virtual reports whether the clock runs on the cost model.
+func (c *Clock) Virtual() bool { return c.model != nil }
+
+// Model returns the cost model, or nil in real mode.
+func (c *Clock) Model() *CostModel { return c.model }
+
+// Now returns the rank's current time.
+func (c *Clock) Now() time.Duration {
+	if c.model == nil {
+		return time.Since(c.start)
+	}
+	return c.now
+}
+
+// Advance charges d of local computation.  No-op in real mode (the wall
+// clock advances by itself).
+func (c *Clock) Advance(d time.Duration) {
+	if c.model != nil && d > 0 {
+		c.now += d
+	}
+}
+
+// Arrive synchronizes the clock with an event that completes at time t
+// (e.g. a message arrival): the clock moves forward to t if t is later.
+func (c *Clock) Arrive(t time.Duration) {
+	if c.model != nil && t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,145 @@
+package simnet
+
+import (
+	"math"
+	"time"
+)
+
+// CostModel prices communication and computation on the modelled machine.
+// A nil *CostModel means "real time": clocks read the wall clock and all
+// cost functions are ignored.
+type CostModel struct {
+	Topo Topology
+	// PGAS selects the intra-node transport pricing.  True models DASH on
+	// MPI-3 shared-memory windows (intra-node traffic is a memcpy); false
+	// models a conventional MPI stack where intra-node messages still pay
+	// protocol latency and an extra copy (§VI-A1, §VI-D).
+	PGAS bool
+
+	// Alpha is the per-message latency per link class.
+	Alpha [numLinkClasses]time.Duration
+	// GBps is the per-flow bandwidth per link class, in bytes/ns
+	// (i.e. GB/s ≈ value × 1e9 bytes/s when expressed per nanosecond).
+	GBps [numLinkClasses]float64
+
+	// CompareNs is the cost of one compare-and-move step of a local sort;
+	// sorting n keys is priced CompareNs · n · log2(n).
+	CompareNs float64
+	// MergeNs is the per-element per-level cost of multiway merging.
+	MergeNs float64
+	// ScanNs is the per-element cost of linear passes (partitioning,
+	// histogram counting, permutation application).
+	ScanNs float64
+	// MemGBps is local memory copy bandwidth in bytes/ns.
+	MemGBps float64
+	// SendOverhead is the sender-side CPU cost per message (the "o" of
+	// the LogP family); the receiver-side path is folded into Alpha.
+	SendOverhead time.Duration
+}
+
+// SuperMUC returns the cost model calibrated to Table I of the paper:
+// 2 × Xeon E5-2697v3 (4 NUMA domains of 7 cores), Infiniband FDR14
+// non-blocking fat tree, Intel MPI 2018.2.  ranksPerNode is 16 for the
+// Charm++-comparison runs and 28 for full-node DASH runs.  pgas selects the
+// shared-memory-window pricing for intra-node traffic.
+func SuperMUC(ranksPerNode int, pgas bool) *CostModel {
+	m := &CostModel{
+		Topo:         Topology{RanksPerNode: ranksPerNode, NUMADomains: 4},
+		PGAS:         pgas,
+		CompareNs:    3.0,
+		MergeNs:      1.6,
+		ScanNs:       0.8,
+		MemGBps:      8.0,
+		SendOverhead: 500 * time.Nanosecond,
+	}
+	// Network: FDR14 ≈ 56 Gbit/s per node shared by all ranks of the
+	// node, so the per-flow share of a busy exchange is NIC/ranksPerNode
+	// with ~protocol efficiency; α covers wire + MPI software path.
+	m.Alpha[Network] = 5 * time.Microsecond
+	m.GBps[Network] = 6.8 / float64(ranksPerNode)
+	if pgas {
+		// MPI-3 shared-memory windows: intra-node traffic is a memcpy
+		// plus a cheap synchronization; per-rank share of the node's
+		// memory bandwidth.
+		m.Alpha[SameNUMA] = 300 * time.Nanosecond
+		m.GBps[SameNUMA] = 4.0
+		m.Alpha[CrossNUMA] = 600 * time.Nanosecond
+		m.GBps[CrossNUMA] = 2.5
+	} else {
+		// Conventional MPI: protocol latency and double-copy through a
+		// shared heap regardless of NUMA placement.
+		m.Alpha[SameNUMA] = 1200 * time.Nanosecond
+		m.GBps[SameNUMA] = 2.0
+		m.Alpha[CrossNUMA] = 1500 * time.Nanosecond
+		m.GBps[CrossNUMA] = 1.6
+	}
+	m.Alpha[SelfLink] = 50 * time.Nanosecond
+	m.GBps[SelfLink] = 12.0
+	return m
+}
+
+// InjectCost is the time the sender's CPU/NIC is busy pushing the message
+// out (bytes over the per-flow bandwidth).  Successive sends from one rank
+// serialize on this cost, which is what makes a P-message exchange cost the
+// rank its full outgoing volume rather than a single transfer.
+func (m *CostModel) InjectCost(src, dst, bytes int) time.Duration {
+	lc := m.Topo.Link(src, dst)
+	return time.Duration(float64(bytes) / m.GBps[lc])
+}
+
+// Latency is the in-flight time after injection until the message is
+// available at the receiver.
+func (m *CostModel) Latency(src, dst int) time.Duration {
+	return m.Alpha[m.Topo.Link(src, dst)]
+}
+
+// MsgCost returns the virtual transfer time of a message of the given size
+// from rank src to rank dst: α(link) + bytes/β(link).
+func (m *CostModel) MsgCost(src, dst, bytes int) time.Duration {
+	lc := m.Topo.Link(src, dst)
+	return m.Alpha[lc] + time.Duration(float64(bytes)/m.GBps[lc])
+}
+
+// SortCost prices a local comparison sort of n keys.
+func (m *CostModel) SortCost(n int) time.Duration {
+	if n < 2 {
+		return 0
+	}
+	return time.Duration(m.CompareNs * float64(n) * math.Log2(float64(n)))
+}
+
+// MergeCost prices merging n keys from k sorted runs (n · log2 k element
+// steps; k ≤ 1 degenerates to a copy).
+func (m *CostModel) MergeCost(n, k int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	levels := math.Log2(float64(k))
+	if levels < 1 {
+		levels = 1
+	}
+	return time.Duration(m.MergeNs * float64(n) * levels)
+}
+
+// SearchCost prices s binary searches over n sorted keys.
+func (m *CostModel) SearchCost(n, s int) time.Duration {
+	if n < 2 || s == 0 {
+		return 0
+	}
+	return time.Duration(m.CompareNs * float64(s) * math.Log2(float64(n)))
+}
+
+// ScanCost prices a linear pass over n keys.
+func (m *CostModel) ScanCost(n int) time.Duration {
+	return time.Duration(m.ScanNs * float64(n))
+}
+
+// CopyCost prices a local copy of the given volume.
+func (m *CostModel) CopyCost(bytes int) time.Duration {
+	return time.Duration(float64(bytes) / m.MemGBps)
+}
+
+// SelectCost prices an expected-linear selection over n keys.
+func (m *CostModel) SelectCost(n int) time.Duration {
+	return time.Duration(m.CompareNs * 2 * float64(n))
+}

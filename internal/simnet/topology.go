@@ -1,0 +1,98 @@
+// Package simnet models the machine the paper ran on: SuperMUC Phase 2
+// (Table I) — dual-socket Haswell nodes with four NUMA domains, connected by
+// a non-blocking Infiniband FDR14 fat tree — as a LogGP-style communication
+// cost model over a virtual clock.
+//
+// The distributed algorithms in this repository execute for real (every rank
+// is a goroutine, every byte of payload actually moves), but *time* is
+// virtual: each rank carries a clock, compute phases advance it through the
+// CostModel's calibrated constants, and a received message advances the
+// receiver to max(local, send + α(link) + bytes·β(link)).  This makes
+// 3584-rank scaling experiments reproducible on a laptop: the figures'
+// shapes are driven by communication rounds × per-link costs and by the
+// compute/communication balance, both of which the model preserves.
+package simnet
+
+import "fmt"
+
+// LinkClass categorizes the path between two ranks.
+type LinkClass int
+
+const (
+	// SelfLink is a rank talking to itself (local copy).
+	SelfLink LinkClass = iota
+	// SameNUMA connects two ranks on one NUMA domain.
+	SameNUMA
+	// CrossNUMA connects two ranks on one node but different NUMA domains.
+	CrossNUMA
+	// Network connects ranks on different nodes.
+	Network
+	numLinkClasses
+)
+
+// String returns the link class name.
+func (lc LinkClass) String() string {
+	switch lc {
+	case SelfLink:
+		return "self"
+	case SameNUMA:
+		return "same-numa"
+	case CrossNUMA:
+		return "cross-numa"
+	case Network:
+		return "network"
+	}
+	return fmt.Sprintf("LinkClass(%d)", int(lc))
+}
+
+// Topology maps ranks onto nodes and NUMA domains, block-wise: ranks
+// [0, RanksPerNode) on node 0, and within a node consecutive ranks fill NUMA
+// domains in blocks — the standard block pinning the paper uses (numactl).
+type Topology struct {
+	// RanksPerNode is the number of ranks scheduled per node (the paper
+	// uses 16 for the Charm++ comparison and 28 for DASH-only runs).
+	RanksPerNode int
+	// NUMADomains is the number of NUMA domains per node (4 on SuperMUC
+	// Phase 2: 2 sockets × 2 cluster-on-die domains).
+	NUMADomains int
+}
+
+// Validate reports a descriptive error for nonsensical topologies.
+func (t Topology) Validate() error {
+	if t.RanksPerNode <= 0 {
+		return fmt.Errorf("simnet: RanksPerNode must be positive, got %d", t.RanksPerNode)
+	}
+	if t.NUMADomains <= 0 {
+		return fmt.Errorf("simnet: NUMADomains must be positive, got %d", t.NUMADomains)
+	}
+	return nil
+}
+
+// Node returns the node index of rank r.
+func (t Topology) Node(r int) int { return r / t.RanksPerNode }
+
+// NUMA returns the NUMA domain index of rank r within its node.
+func (t Topology) NUMA(r int) int {
+	onNode := r % t.RanksPerNode
+	perDomain := (t.RanksPerNode + t.NUMADomains - 1) / t.NUMADomains
+	return onNode / perDomain
+}
+
+// Link classifies the path from rank a to rank b.
+func (t Topology) Link(a, b int) LinkClass {
+	if a == b {
+		return SelfLink
+	}
+	if t.Node(a) != t.Node(b) {
+		return Network
+	}
+	if t.NUMA(a) != t.NUMA(b) {
+		return CrossNUMA
+	}
+	return SameNUMA
+}
+
+// Nodes returns the number of nodes needed for p ranks.
+func (t Topology) Nodes(p int) int {
+	return (p + t.RanksPerNode - 1) / t.RanksPerNode
+}

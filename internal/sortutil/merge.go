@@ -1,0 +1,162 @@
+package sortutil
+
+// Merge returns a new sorted slice containing all elements of sorted a and b.
+func Merge[T any](a, b []T, less func(a, b T) bool) []T {
+	out := make([]T, len(a)+len(b))
+	mergeInto(out, a, b, less)
+	return out
+}
+
+// MergeKBinary merges k sorted chunks with a binary merge tree: pairwise
+// merges over ceil(log2 k) rounds, each element moving O(log k) times
+// (§V-C).  Merging can start as soon as two chunks are available, which is
+// why the paper considers it for communication overlap.  chunks may be
+// empty; the input slices are not modified.
+func MergeKBinary[T any](chunks [][]T, less func(a, b T) bool) []T {
+	switch len(chunks) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]T, len(chunks[0]))
+		copy(out, chunks[0])
+		return out
+	}
+	cur := make([][]T, len(chunks))
+	copy(cur, chunks)
+	for len(cur) > 1 {
+		nxt := make([][]T, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			nxt = append(nxt, Merge(cur[i], cur[i+1], less))
+		}
+		if len(cur)%2 == 1 {
+			nxt = append(nxt, cur[len(cur)-1])
+		}
+		cur = nxt
+	}
+	return cur[0]
+}
+
+// LoserTree is a tournament tree over k sorted runs (§V-C; Knuth's
+// replacement-selection structure).  Each Next pops the global minimum in
+// O(log k) comparisons.  Unlike the binary merge tree it needs all runs up
+// front, but touches each element only once.
+type LoserTree[T any] struct {
+	less  func(a, b T) bool
+	runs  [][]T // remaining suffix of each run
+	tree  []int // internal nodes: index of the loser run
+	top   int   // current overall winner run
+	k     int
+	count int // total remaining elements
+}
+
+// NewLoserTree builds a tournament tree over the given sorted runs.
+func NewLoserTree[T any](runs [][]T, less func(a, b T) bool) *LoserTree[T] {
+	k := len(runs)
+	lt := &LoserTree[T]{less: less, runs: make([][]T, k), tree: make([]int, k), k: k}
+	for i, r := range runs {
+		lt.runs[i] = r
+		lt.count += len(r)
+	}
+	lt.build()
+	return lt
+}
+
+// exhausted reports whether run i is empty.
+func (lt *LoserTree[T]) exhausted(i int) bool { return len(lt.runs[i]) == 0 }
+
+// beats reports whether run a's head should win against run b's head
+// (exhausted runs always lose; ties break towards the lower run index,
+// making the merge stable).
+func (lt *LoserTree[T]) beats(a, b int) bool {
+	switch {
+	case lt.exhausted(a):
+		return false
+	case lt.exhausted(b):
+		return true
+	case lt.less(lt.runs[a][0], lt.runs[b][0]):
+		return true
+	case lt.less(lt.runs[b][0], lt.runs[a][0]):
+		return false
+	}
+	return a < b
+}
+
+// build plays the initial tournament.
+func (lt *LoserTree[T]) build() {
+	if lt.k == 0 {
+		lt.top = -1
+		return
+	}
+	// Play every leaf up the tree; standard loser-tree initialization.
+	for i := range lt.tree {
+		lt.tree[i] = -1
+	}
+	for i := 0; i < lt.k; i++ {
+		lt.replay(i)
+	}
+}
+
+// replay pushes run w from its leaf towards the root, recording losers.
+func (lt *LoserTree[T]) replay(w int) {
+	node := (w + lt.k) / 2
+	for node > 0 {
+		if lt.tree[node] == -1 {
+			lt.tree[node] = w
+			return // first arrival waits for its sibling
+		}
+		if lt.beats(lt.tree[node], w) {
+			w, lt.tree[node] = lt.tree[node], w
+		}
+		node /= 2
+	}
+	lt.top = w
+}
+
+// Len returns the number of elements remaining.
+func (lt *LoserTree[T]) Len() int { return lt.count }
+
+// Next removes and returns the smallest remaining element.  It must not be
+// called when Len() == 0.
+func (lt *LoserTree[T]) Next() T {
+	w := lt.top
+	v := lt.runs[w][0]
+	lt.runs[w] = lt.runs[w][1:]
+	lt.count--
+	// Replay from the winner's leaf to the root.
+	node := (w + lt.k) / 2
+	for node > 0 {
+		if lt.beats(lt.tree[node], w) {
+			w, lt.tree[node] = lt.tree[node], w
+		}
+		node /= 2
+	}
+	lt.top = w
+	return v
+}
+
+// MergeKLoser merges k sorted chunks using a tournament (loser) tree.
+func MergeKLoser[T any](chunks [][]T, less func(a, b T) bool) []T {
+	lt := NewLoserTree(chunks, less)
+	out := make([]T, 0, lt.Len())
+	for lt.Len() > 0 {
+		out = append(out, lt.Next())
+	}
+	return out
+}
+
+// MergeKResort concatenates the chunks and re-sorts them with a full
+// shared-memory sort — the strategy the paper's evaluated implementation
+// uses for the Local Merge superstep ("we rely on another shared memory
+// sort to 'merge' all sequences", §V-C).
+func MergeKResort[T any](chunks [][]T, less func(a, b T) bool) []T {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	out := make([]T, 0, n)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	Sort(out, less)
+	return out
+}

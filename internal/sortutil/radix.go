@@ -1,0 +1,65 @@
+package sortutil
+
+// LSD radix sorts — the "fast shared memory algorithm" alternative for the
+// Local Sort superstep when keys are fixed-width integers.  8-bit digits,
+// one counting pass per non-constant digit, stable.
+
+// RadixSortUint64 sorts a in ascending order in O(8·n) time and n extra
+// space.
+func RadixSortUint64(a []uint64) {
+	radixSortKeyed(a, func(v uint64) uint64 { return v }, 8)
+}
+
+// RadixSortUint32 sorts a in ascending order in O(4·n) time and n extra
+// space.
+func RadixSortUint32(a []uint32) {
+	radixSortKeyed(a, func(v uint32) uint64 { return uint64(v) }, 4)
+}
+
+// RadixSortFunc stably sorts a by the uint64 image of key, which must be
+// order-preserving for the intended ordering.  width is the number of
+// significant key bytes (1-8); use 8 when unsure.
+func RadixSortFunc[T any](a []T, key func(T) uint64, width int) {
+	if width < 1 {
+		width = 1
+	}
+	if width > 8 {
+		width = 8
+	}
+	radixSortKeyed(a, key, width)
+}
+
+func radixSortKeyed[T any](a []T, key func(T) uint64, width int) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	buf := make([]T, n)
+	src, dst := a, buf
+	swapped := false
+	for d := 0; d < width; d++ {
+		shift := uint(8 * d)
+		var counts [256]int
+		for _, v := range src {
+			counts[(key(v)>>shift)&0xff]++
+		}
+		// Skip digits on which all keys agree.
+		if counts[(key(src[0])>>shift)&0xff] == n {
+			continue
+		}
+		pos := 0
+		for i := range counts {
+			counts[i], pos = pos, pos+counts[i]
+		}
+		for _, v := range src {
+			b := (key(v) >> shift) & 0xff
+			dst[counts[b]] = v
+			counts[b]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(a, src)
+	}
+}

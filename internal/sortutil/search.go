@@ -1,0 +1,33 @@
+package sortutil
+
+// LowerBound returns the smallest index i in sorted slice a such that
+// !less(a[i], x), i.e. the position of the first element >= x.
+// This is the binary search used to build local histograms over locally
+// sorted partitions (Algorithm 3, line 7).
+func LowerBound[T any](a []T, x T, less func(a, b T) bool) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(a[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBound returns the smallest index i in sorted slice a such that
+// less(x, a[i]), i.e. one past the last element <= x.
+func UpperBound[T any](a []T, x T, less func(a, b T) bool) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(x, a[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,101 @@
+// Package stats provides the summary statistics the paper's evaluation
+// reports: medians of repeated runs with 95% confidence intervals (§VI-B:
+// "We always report the median time out of 10 executions along with the
+// 95% confidence interval"), plus speedup and parallel efficiency.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a set of repeated measurements.
+type Summary struct {
+	// Median is the middle measurement.
+	Median time.Duration
+	// Mean is the arithmetic mean.
+	Mean time.Duration
+	// Stddev is the sample standard deviation.
+	Stddev time.Duration
+	// CILow and CIHigh bound the 95% confidence interval of the median
+	// (distribution-free order-statistic interval; for fewer than 6
+	// samples it degenerates to the min/max).
+	CILow, CIHigh time.Duration
+	// N is the number of measurements.
+	N int
+}
+
+// Summarize computes a Summary of the given runs.  It returns the zero
+// Summary for an empty input.
+func Summarize(runs []time.Duration) Summary {
+	n := len(runs)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var s Summary
+	s.N = n
+	s.Median = median(sorted)
+
+	var sum float64
+	for _, r := range sorted {
+		sum += float64(r)
+	}
+	mean := sum / float64(n)
+	s.Mean = time.Duration(mean)
+	if n > 1 {
+		var ss float64
+		for _, r := range sorted {
+			d := float64(r) - mean
+			ss += d * d
+		}
+		s.Stddev = time.Duration(math.Sqrt(ss / float64(n-1)))
+	}
+
+	// Distribution-free CI for the median: ranks mean ± 1.96·sqrt(n)/2.
+	half := 1.96 * math.Sqrt(float64(n)) / 2
+	lo := int(math.Floor(float64(n)/2 - half))
+	hi := int(math.Ceil(float64(n)/2+half)) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	s.CILow, s.CIHigh = sorted[lo], sorted[hi]
+	return s
+}
+
+func median(sorted []time.Duration) time.Duration {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Speedup returns base/t — how many times faster t is than the baseline.
+func Speedup(base, t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(base) / float64(t)
+}
+
+// Efficiency returns the parallel efficiency of a strong-scaling point:
+// speedup relative to the base divided by the processor ratio.
+func Efficiency(base time.Duration, baseP int, t time.Duration, p int) float64 {
+	if t <= 0 || p <= 0 || baseP <= 0 {
+		return 0
+	}
+	return Speedup(base, t) * float64(baseP) / float64(p)
+}
+
+// WeakEfficiency returns base/t for a weak-scaling point (ideal is 1.0:
+// time stays flat as work and processors grow together).
+func WeakEfficiency(base, t time.Duration) float64 {
+	return Speedup(base, t)
+}

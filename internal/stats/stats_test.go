@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(v ...int) []time.Duration {
+	out := make([]time.Duration, len(v))
+	for i, x := range v {
+		out[i] = time.Duration(x) * time.Millisecond
+	}
+	return out
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Median != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize(ms(10))
+	if s.Median != 10*time.Millisecond || s.Mean != 10*time.Millisecond || s.N != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.CILow != s.Median || s.CIHigh != s.Median {
+		t.Fatal("single-sample CI must collapse")
+	}
+}
+
+func TestSummarizeOddEven(t *testing.T) {
+	odd := Summarize(ms(30, 10, 20))
+	if odd.Median != 20*time.Millisecond {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	even := Summarize(ms(10, 20, 30, 40))
+	if even.Median != 25*time.Millisecond {
+		t.Fatalf("even median = %v", even.Median)
+	}
+}
+
+func TestSummarizeTenRuns(t *testing.T) {
+	// The paper's protocol: median of 10 with a 95% CI.
+	s := Summarize(ms(11, 12, 13, 14, 15, 16, 17, 18, 19, 100))
+	if s.Median != (15*time.Millisecond+16*time.Millisecond)/2 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.CILow > s.Median || s.CIHigh < s.Median {
+		t.Fatal("CI must bracket the median")
+	}
+	if s.CILow < 11*time.Millisecond || s.CIHigh > 100*time.Millisecond {
+		t.Fatal("CI outside data range")
+	}
+	if s.Stddev <= 0 {
+		t.Fatal("stddev must be positive")
+	}
+}
+
+func TestSummarizeRobustToOutlier(t *testing.T) {
+	s := Summarize(ms(10, 10, 10, 10, 10, 10, 10, 10, 10, 1000))
+	if s.Median != 10*time.Millisecond {
+		t.Fatalf("median not robust: %v", s.Median)
+	}
+	if s.Mean <= s.Median {
+		t.Fatal("mean should exceed median with a high outlier")
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if Speedup(100*time.Millisecond, 25*time.Millisecond) != 4 {
+		t.Fatal("speedup wrong")
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Fatal("zero time must give zero speedup")
+	}
+	// 4x ranks, 4x faster: perfect efficiency.
+	if e := Efficiency(100*time.Millisecond, 2, 25*time.Millisecond, 8); e != 1 {
+		t.Fatalf("efficiency = %v", e)
+	}
+	// 4x ranks, 2x faster: 0.5.
+	if e := Efficiency(100*time.Millisecond, 2, 50*time.Millisecond, 8); e != 0.5 {
+		t.Fatalf("efficiency = %v", e)
+	}
+	if Efficiency(time.Second, 0, time.Second, 4) != 0 {
+		t.Fatal("degenerate efficiency must be zero")
+	}
+}
+
+func TestWeakEfficiency(t *testing.T) {
+	if WeakEfficiency(2*time.Second, 4*time.Second) != 0.5 {
+		t.Fatal("weak efficiency wrong")
+	}
+}

@@ -1,0 +1,159 @@
+// Package trace records per-rank phase timings and algorithm counters,
+// producing the phase breakdowns of Fig. 2(b) and Fig. 3(b).
+package trace
+
+import (
+	"time"
+
+	"dhsort/internal/simnet"
+)
+
+// Phase identifies one superstep of the sorting pipeline.
+type Phase int
+
+// The phases the paper's evaluation breaks executions into.
+const (
+	// LocalSort is the initial local sort superstep.
+	LocalSort Phase = iota
+	// Histogram is the splitter-determination superstep (§V-A).
+	Histogram
+	// Exchange is the ALL-TO-ALLV data exchange superstep (§V-B).
+	Exchange
+	// Merge is the local merge superstep (§V-C).
+	Merge
+	// Other covers setup, permutation-matrix construction, and teardown.
+	Other
+	// NumPhases is the number of phases.
+	NumPhases
+)
+
+// String returns the phase name as used in the figures.
+func (p Phase) String() string {
+	switch p {
+	case LocalSort:
+		return "LocalSort"
+	case Histogram:
+		return "Histogram"
+	case Exchange:
+		return "Exchange"
+	case Merge:
+		return "Merge"
+	case Other:
+		return "Other"
+	}
+	return "Unknown"
+}
+
+// Recorder accumulates one rank's time per phase against its clock.  A nil
+// *Recorder is valid and records nothing, so algorithms can run untraced.
+type Recorder struct {
+	clock *simnet.Clock
+	mark  time.Duration
+	cur   Phase
+
+	// Times is the accumulated duration per phase.
+	Times [NumPhases]time.Duration
+	// Iterations counts histogramming iterations (§V-A).
+	Iterations int
+	// ExchangedBytes counts this rank's outgoing data-exchange volume.
+	ExchangedBytes int64
+}
+
+// NewRecorder returns a recorder ticking on clock, starting in Other.
+func NewRecorder(clock *simnet.Clock) *Recorder {
+	return &Recorder{clock: clock, mark: clock.Now(), cur: Other}
+}
+
+// Enter closes the current phase and starts p.
+func (r *Recorder) Enter(p Phase) {
+	if r == nil {
+		return
+	}
+	now := r.clock.Now()
+	r.Times[r.cur] += now - r.mark
+	r.mark = now
+	r.cur = p
+}
+
+// Finish closes the current phase (into its accumulator) and parks the
+// recorder in Other.
+func (r *Recorder) Finish() {
+	r.Enter(Other)
+}
+
+// AddIteration bumps the histogramming iteration counter.
+func (r *Recorder) AddIteration() {
+	if r != nil {
+		r.Iterations++
+	}
+}
+
+// AddExchangedBytes accounts outgoing exchange volume.
+func (r *Recorder) AddExchangedBytes(n int64) {
+	if r != nil {
+		r.ExchangedBytes += n
+	}
+}
+
+// Total returns the summed phase times.
+func (r *Recorder) Total() time.Duration {
+	var t time.Duration
+	for _, d := range r.Times {
+		t += d
+	}
+	return t
+}
+
+// Summary aggregates recorders across ranks.
+type Summary struct {
+	// Times is the mean per-phase duration across ranks.
+	Times [NumPhases]time.Duration
+	// MaxIterations is the largest per-rank iteration count (iterations
+	// are identical on every rank, so this is *the* iteration count).
+	MaxIterations int
+	// ExchangedBytes is the total exchanged volume across ranks.
+	ExchangedBytes int64
+}
+
+// Summarize averages phase times over ranks (nil recorders are skipped).
+func Summarize(recs []*Recorder) Summary {
+	var s Summary
+	n := 0
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		n++
+		for p := Phase(0); p < NumPhases; p++ {
+			s.Times[p] += r.Times[p]
+		}
+		if r.Iterations > s.MaxIterations {
+			s.MaxIterations = r.Iterations
+		}
+		s.ExchangedBytes += r.ExchangedBytes
+	}
+	if n > 0 {
+		for p := Phase(0); p < NumPhases; p++ {
+			s.Times[p] /= time.Duration(n)
+		}
+	}
+	return s
+}
+
+// Total returns the summed mean phase times.
+func (s Summary) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.Times {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns phase p's share of the total (0 when the total is zero).
+func (s Summary) Fraction(p Phase) float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Times[p]) / float64(total)
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"dhsort/internal/simnet"
+)
+
+func virtualClock() *simnet.Clock {
+	return simnet.NewClock(simnet.SuperMUC(16, true))
+}
+
+func TestRecorderPhases(t *testing.T) {
+	clk := virtualClock()
+	r := NewRecorder(clk)
+	clk.Advance(5 * time.Millisecond) // Other
+	r.Enter(LocalSort)
+	clk.Advance(10 * time.Millisecond)
+	r.Enter(Histogram)
+	clk.Advance(3 * time.Millisecond)
+	r.Enter(Exchange)
+	clk.Advance(7 * time.Millisecond)
+	r.Enter(Merge)
+	clk.Advance(2 * time.Millisecond)
+	r.Finish()
+	want := map[Phase]time.Duration{
+		Other: 5 * time.Millisecond, LocalSort: 10 * time.Millisecond,
+		Histogram: 3 * time.Millisecond, Exchange: 7 * time.Millisecond,
+		Merge: 2 * time.Millisecond,
+	}
+	for p, d := range want {
+		if r.Times[p] != d {
+			t.Errorf("%v = %v, want %v", p, r.Times[p], d)
+		}
+	}
+	if r.Total() != 27*time.Millisecond {
+		t.Errorf("total = %v", r.Total())
+	}
+}
+
+func TestRecorderReentersPhase(t *testing.T) {
+	clk := virtualClock()
+	r := NewRecorder(clk)
+	r.Enter(Histogram)
+	clk.Advance(time.Millisecond)
+	r.Enter(Other)
+	r.Enter(Histogram)
+	clk.Advance(2 * time.Millisecond)
+	r.Finish()
+	if r.Times[Histogram] != 3*time.Millisecond {
+		t.Errorf("Histogram = %v", r.Times[Histogram])
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Enter(LocalSort)
+	r.Finish()
+	r.AddIteration()
+	r.AddExchangedBytes(10)
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRecorder(virtualClock())
+	for i := 0; i < 30; i++ {
+		r.AddIteration()
+	}
+	r.AddExchangedBytes(100)
+	r.AddExchangedBytes(28)
+	if r.Iterations != 30 || r.ExchangedBytes != 128 {
+		t.Errorf("counters: %d, %d", r.Iterations, r.ExchangedBytes)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	mk := func(sortMs, histMs int, iters int, bytes int64) *Recorder {
+		clk := virtualClock()
+		r := NewRecorder(clk)
+		r.Enter(LocalSort)
+		clk.Advance(time.Duration(sortMs) * time.Millisecond)
+		r.Enter(Histogram)
+		clk.Advance(time.Duration(histMs) * time.Millisecond)
+		r.Finish()
+		r.Iterations = iters
+		r.ExchangedBytes = bytes
+		return r
+	}
+	recs := []*Recorder{mk(10, 2, 30, 100), mk(20, 4, 31, 200), nil}
+	s := Summarize(recs)
+	if s.Times[LocalSort] != 15*time.Millisecond {
+		t.Errorf("mean LocalSort = %v", s.Times[LocalSort])
+	}
+	if s.Times[Histogram] != 3*time.Millisecond {
+		t.Errorf("mean Histogram = %v", s.Times[Histogram])
+	}
+	if s.MaxIterations != 31 {
+		t.Errorf("iterations = %d", s.MaxIterations)
+	}
+	if s.ExchangedBytes != 300 {
+		t.Errorf("bytes = %d", s.ExchangedBytes)
+	}
+	if s.Total() != 18*time.Millisecond {
+		t.Errorf("total = %v", s.Total())
+	}
+	frac := s.Fraction(LocalSort)
+	if frac < 0.83 || frac > 0.84 {
+		t.Errorf("fraction = %v", frac)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Total() != 0 || s.Fraction(LocalSort) != 0 {
+		t.Error("empty summary must be zero")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	names := map[Phase]string{
+		LocalSort: "LocalSort", Histogram: "Histogram", Exchange: "Exchange",
+		Merge: "Merge", Other: "Other", Phase(42): "Unknown",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+}

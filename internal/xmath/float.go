@@ -1,0 +1,59 @@
+package xmath
+
+import "math"
+
+// maxU128AsFloat is the smallest float64 not representable as a U128.
+const maxU128AsFloat = 340282366920938463463374607431768211456.0 // 2^128
+
+// Float64 returns the closest float64 to a (lossy above 2^53).
+func (a U128) Float64() float64 {
+	return math.Ldexp(float64(a.Hi), 64) + float64(a.Lo)
+}
+
+// U128FromFloat64 returns the U128 nearest to f, clamping negatives to 0
+// and overflow to MaxU128.  NaN maps to 0.
+func U128FromFloat64(f float64) U128 {
+	if math.IsNaN(f) || f <= 0 {
+		return U128{}
+	}
+	if f >= maxU128AsFloat {
+		return MaxU128
+	}
+	hi := math.Floor(math.Ldexp(f, -64))
+	lo := f - math.Ldexp(hi, 64)
+	out := U128{Hi: uint64(hi)}
+	switch {
+	case lo < 0:
+		// Rounding slop: borrow from the high half.
+		if out.Hi > 0 {
+			out.Hi--
+			out.Lo = ^uint64(0)
+		}
+	case lo >= math.Ldexp(1, 64):
+		if out.Hi < ^uint64(0) {
+			out.Hi++
+		} else {
+			out.Lo = ^uint64(0)
+		}
+	default:
+		out.Lo = uint64(lo)
+	}
+	return out
+}
+
+// Lerp returns the point a + t·(b-a) for t in [0,1], computed in floating
+// point (used by interpolation-probing splitter searches; bisection should
+// use Avg instead, which is exact).
+func Lerp(a, b U128, t float64) U128 {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	if t <= 0 {
+		return a
+	}
+	if t >= 1 {
+		return b
+	}
+	width := b.Sub(a).Float64()
+	return a.Add(U128FromFloat64(width * t))
+}

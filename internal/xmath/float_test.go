@@ -1,0 +1,84 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64Roundtrip(t *testing.T) {
+	cases := []U128{
+		{}, {0, 1}, {0, 1 << 52}, {1, 0}, {1 << 40, 0}, MaxU128,
+	}
+	for _, c := range cases {
+		f := c.Float64()
+		back := U128FromFloat64(f)
+		// Relative error within float64 precision.
+		if f > 0 {
+			rel := math.Abs(back.Float64()-f) / f
+			if rel > 1e-9 {
+				t.Errorf("roundtrip of %v drifted: %v", c, rel)
+			}
+		} else if back != (U128{}) {
+			t.Errorf("zero roundtrip: %v", back)
+		}
+	}
+}
+
+func TestU128FromFloat64Edges(t *testing.T) {
+	if U128FromFloat64(-5) != (U128{}) {
+		t.Error("negative must clamp to zero")
+	}
+	if U128FromFloat64(math.NaN()) != (U128{}) {
+		t.Error("NaN must map to zero")
+	}
+	if U128FromFloat64(math.Inf(1)) != MaxU128 {
+		t.Error("+Inf must clamp to max")
+	}
+	if U128FromFloat64(1e40).Hi == 0 {
+		t.Error("large values must populate the high half")
+	}
+	if got := U128FromFloat64(12345); got != (U128{0, 12345}) {
+		t.Errorf("small integer: %v", got)
+	}
+}
+
+func TestLerpBounds(t *testing.T) {
+	a, b := U128{0, 100}, U128{5, 0}
+	if Lerp(a, b, 0) != a {
+		t.Error("t=0 must give a")
+	}
+	if Lerp(a, b, 1) != b {
+		t.Error("t=1 must give b")
+	}
+	if Lerp(a, b, -3) != a || Lerp(a, b, 7) != b {
+		t.Error("t outside [0,1] must clamp")
+	}
+	// Swapped arguments behave identically.
+	if Lerp(b, a, 0) != a {
+		t.Error("swapped bounds must normalize")
+	}
+}
+
+func TestLerpWithinInterval(t *testing.T) {
+	f := func(ah, al, bh, bl uint64, tRaw uint16) bool {
+		a, b := U128{ah, al}, U128{bh, bl}
+		if b.Less(a) {
+			a, b = b, a
+		}
+		tt := float64(tRaw) / 65535
+		m := Lerp(a, b, tt)
+		return !m.Less(a) && !b.Less(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLerpMidpointClose(t *testing.T) {
+	a, b := U128{0, 0}, U128{0, 1000}
+	m := Lerp(a, b, 0.5)
+	if m.Lo < 499 || m.Lo > 501 {
+		t.Errorf("midpoint = %v", m)
+	}
+}

@@ -1,0 +1,55 @@
+package xmath
+
+import "math"
+
+// The functions below are order-preserving bijections between native key
+// types and unsigned integers: x < y (in the key order) iff f(x) < f(y)
+// (as unsigned integers).  They let histogram bisection operate on any
+// fixed-width key type with guaranteed convergence.
+
+// OrderInt64 maps an int64 to a uint64 preserving order (offset binary).
+func OrderInt64(x int64) uint64 { return uint64(x) ^ (1 << 63) }
+
+// UnorderInt64 inverts OrderInt64.
+func UnorderInt64(u uint64) int64 { return int64(u ^ (1 << 63)) }
+
+// OrderFloat64 maps a float64 to a uint64 preserving the total order of
+// IEEE-754 values (with -0 < +0 and NaNs mapped above +Inf by their payload).
+func OrderFloat64(x float64) uint64 {
+	u := math.Float64bits(x)
+	if u&(1<<63) != 0 {
+		return ^u // negative: flip all bits
+	}
+	return u | 1<<63 // non-negative: flip sign bit
+}
+
+// UnorderFloat64 inverts OrderFloat64.
+func UnorderFloat64(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// OrderFloat32 maps a float32 to a uint32 preserving IEEE-754 total order.
+func OrderFloat32(x float32) uint32 {
+	u := math.Float32bits(x)
+	if u&(1<<31) != 0 {
+		return ^u
+	}
+	return u | 1<<31
+}
+
+// UnorderFloat32 inverts OrderFloat32.
+func UnorderFloat32(u uint32) float32 {
+	if u&(1<<31) != 0 {
+		return math.Float32frombits(u &^ (1 << 31))
+	}
+	return math.Float32frombits(^u)
+}
+
+// OrderInt32 maps an int32 to a uint32 preserving order.
+func OrderInt32(x int32) uint32 { return uint32(x) ^ (1 << 31) }
+
+// UnorderInt32 inverts OrderInt32.
+func UnorderInt32(u uint32) int32 { return int32(u ^ (1 << 31)) }

@@ -1,0 +1,87 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderInt64(t *testing.T) {
+	f := func(a, b int64) bool {
+		if UnorderInt64(OrderInt64(a)) != a {
+			return false
+		}
+		return (a < b) == (OrderInt64(a) < OrderInt64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderFloat64(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if UnorderFloat64(OrderFloat64(a)) != a && !(a == 0) { // ±0 collapse is fine order-wise
+			return false
+		}
+		if a == b {
+			return true
+		}
+		return (a < b) == (OrderFloat64(a) < OrderFloat64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderFloat64Specials(t *testing.T) {
+	vals := []float64{math.Inf(-1), -math.MaxFloat64, -1, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1, math.MaxFloat64, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := vals[i-1], vals[i]
+		if OrderFloat64(a) > OrderFloat64(b) {
+			t.Errorf("order violated: %v !<= %v", a, b)
+		}
+	}
+	// -0 strictly below +0 in the embedding, as documented.
+	if !(OrderFloat64(math.Copysign(0, -1)) < OrderFloat64(0)) {
+		t.Error("-0 should map below +0")
+	}
+	// Roundtrip of ±0 preserves the bit pattern.
+	if math.Signbit(UnorderFloat64(OrderFloat64(math.Copysign(0, -1)))) != true {
+		t.Error("-0 roundtrip lost sign")
+	}
+}
+
+func TestOrderFloat32(t *testing.T) {
+	f := func(ab, bb uint32) bool {
+		a, b := math.Float32frombits(ab), math.Float32frombits(bb)
+		if a != a || b != b { // NaN
+			return true
+		}
+		if UnorderFloat32(OrderFloat32(a)) != a && a != 0 {
+			return false
+		}
+		if a == b {
+			return true
+		}
+		return (a < b) == (OrderFloat32(a) < OrderFloat32(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderInt32(t *testing.T) {
+	f := func(a, b int32) bool {
+		if UnorderInt32(OrderInt32(a)) != a {
+			return false
+		}
+		return (a < b) == (OrderInt32(a) < OrderInt32(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
