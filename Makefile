@@ -1,0 +1,25 @@
+# Developer entry points; `make ci` is the gate CI and pre-push runs.
+
+.PHONY: ci test race bench-smoke bench-json bench-compare
+
+ci:
+	./ci.sh
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/comm ./internal/psort ./internal/core
+
+# Tiny deterministic grid for CI; artifact uploaded by the workflow.
+bench-smoke:
+	go run ./cmd/bench -json BENCH_ci.json -smoke
+
+# Regenerate the full benchmark trajectory document.
+bench-json:
+	go run ./cmd/bench -json BENCH_full.json
+
+# Gate the working tree against a recorded baseline:
+#   make bench-compare OLD=BENCH_full.json
+bench-compare:
+	go run ./cmd/bench -compare $(OLD) -json BENCH_new.json

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# ci.sh — the repo's single-command quality gate, run locally and by
+# .github/workflows/ci.yml:
+#
+#   ./ci.sh          # fmt + vet + build + test + race
+#   ./ci.sh bench    # additionally run the bench smoke and emit BENCH_ci.json
+#
+# Fails (non-zero exit) on any gofmt diff, vet finding, build error, test
+# failure, or data race in the race-sensitive packages.
+set -eu
+
+# Race-sensitive packages: the message-passing substrate, the shared-memory
+# parallel sort, and the core algorithm that drives both.
+RACE_PKGS="./internal/comm ./internal/psort ./internal/core"
+
+echo "== gofmt"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race ($RACE_PKGS)"
+go test -race $RACE_PKGS
+
+if [ "${1:-}" = "bench" ]; then
+    echo "== bench smoke (BENCH_ci.json)"
+    go run ./cmd/bench -json BENCH_ci.json -smoke
+fi
+
+echo "== ci OK"

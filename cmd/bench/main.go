@@ -1,12 +1,20 @@
-// Command bench regenerates the paper's evaluation artifacts.
+// Command bench regenerates the paper's evaluation artifacts and the
+// machine-readable benchmark trajectory.
 //
-// Usage:
+// Text experiments (tables matching the paper's figures):
 //
 //	bench -exp fig2a            # one experiment (see -list)
 //	bench -exp all -full -reps 10
 //
-// Each experiment prints the corresponding table or figure series; see
-// EXPERIMENTS.md for the paper-vs-measured discussion.
+// Machine-readable metrics suite (BENCH_*.json, schema dhsort-bench/v1):
+//
+//	bench -json BENCH_full.json              # run the suite, write JSON
+//	bench -json BENCH_ci.json -smoke         # tiny CI grid
+//	bench -compare old.json -json new.json   # run, write, diff vs old
+//	bench -compare old.json -with new.json   # diff two existing files
+//
+// -compare exits with status 3 when any tracked metric regressed by more
+// than -threshold (default 10%) or a record disappeared.
 package main
 
 import (
@@ -16,15 +24,21 @@ import (
 	"time"
 
 	"dhsort/internal/bench"
+	"dhsort/internal/metrics"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment name, or 'all'")
-		list = flag.Bool("list", false, "list experiments and exit")
-		full = flag.Bool("full", false, "paper-scale parameter sweep (slow)")
-		reps = flag.Int("reps", 3, "repetitions per point (the paper uses 10)")
-		seed = flag.Uint64("seed", 42, "base workload seed")
+		exp       = flag.String("exp", "all", "experiment name, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		full      = flag.Bool("full", false, "paper-scale parameter sweep (slow)")
+		reps      = flag.Int("reps", 3, "repetitions per point (the paper uses 10)")
+		seed      = flag.Uint64("seed", 42, "base workload seed")
+		jsonOut   = flag.String("json", "", "run the metrics suite and write the JSON document to this path")
+		smoke     = flag.Bool("smoke", false, "with -json/-compare: tiny grid for CI smoke runs")
+		compare   = flag.String("compare", "", "baseline JSON document to diff against (regression gate)")
+		with      = flag.String("with", "", "with -compare: diff this existing document instead of running the suite")
+		threshold = flag.Float64("threshold", metrics.DefaultThreshold, "relative growth counting as a regression")
 	)
 	flag.Parse()
 
@@ -33,6 +47,10 @@ func main() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.Description)
 		}
 		return
+	}
+
+	if *jsonOut != "" || *compare != "" {
+		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threshold))
 	}
 
 	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed}
@@ -58,4 +76,79 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// metricsMode runs the JSON suite and/or the regression gate; the return
+// value is the process exit status (0 ok, 1 error, 3 regression).
+func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threshold float64) int {
+	var doc metrics.Document
+	switch {
+	case with != "":
+		if compare == "" {
+			fmt.Fprintln(os.Stderr, "bench: -with requires -compare")
+			return 2
+		}
+		d, err := readDocument(with)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		doc = d
+	default:
+		fmt.Printf("=== metrics suite (%s grid)\n", map[bool]string{true: "smoke", false: "full"}[smoke])
+		start := time.Now()
+		d, err := bench.RunSuite(bench.SuiteOptions{Smoke: smoke, Reps: reps, Seed: seed, Progress: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		doc = d
+		fmt.Printf("--- suite done in %v (%d records)\n", time.Since(start).Round(time.Millisecond), len(doc.Records))
+	}
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		err = metrics.Encode(f, doc)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+
+	if compare == "" {
+		return 0
+	}
+	old, err := readDocument(compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	res, err := metrics.Compare(old, doc, threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	res.Report(os.Stdout)
+	if res.Regressed() {
+		fmt.Fprintln(os.Stderr, "bench: REGRESSION against", compare)
+		return 3
+	}
+	return 0
+}
+
+func readDocument(path string) (metrics.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return metrics.Document{}, err
+	}
+	defer f.Close()
+	return metrics.Decode(f)
 }

@@ -20,9 +20,9 @@ import (
 	"dhsort/internal/hss"
 	"dhsort/internal/hyksort"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/samplesort"
 	"dhsort/internal/simnet"
-	"dhsort/internal/trace"
 	"dhsort/internal/workload"
 )
 
@@ -73,7 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dhsort:", err)
 		os.Exit(1)
 	}
-	recs := make([]*trace.Recorder, *p)
+	recs := make([]*metrics.Recorder, *p)
 	verified := true
 	var mu sync.Mutex
 	wall := time.Now()
@@ -83,7 +83,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		rec := trace.NewRecorder(c.Clock())
+		rec := metrics.ForComm(c)
 		var out []uint64
 		switch *alg {
 		case "dhsort":
@@ -112,6 +112,8 @@ func main() {
 		if err != nil {
 			return err
 		}
+		rec.Finish()
+		rec.SetElements(len(local), len(out))
 		ok := dhsort.IsGloballySorted(c, out, dhsort.Uint64Ops)
 		perfect := *alg == "dhsort" || *alg == "hss"
 		mu.Lock()
@@ -126,7 +128,7 @@ func main() {
 	}
 
 	elapsed := time.Since(wall)
-	s := trace.Summarize(recs)
+	s := metrics.Summarize(recs)
 	fmt.Printf("sorted %d %s keys on %d ranks (alg=%s, eps=%v, merge=%s)\n", *n, *dist, *p, *alg, *eps, *merge)
 	if m != nil {
 		fmt.Printf("virtual makespan: %v (SuperMUC model, %d ranks/node, scale x%g; wall %v)\n",
@@ -135,13 +137,26 @@ func main() {
 		fmt.Printf("wall time: %v\n", elapsed.Round(time.Millisecond))
 	}
 	fmt.Printf("histogram iterations: %d\n", s.MaxIterations)
-	fmt.Println("phase breakdown (mean across ranks):")
-	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
-		fmt.Printf("  %-10s %8v  %5.1f%%\n", ph, s.Times[ph].Round(time.Microsecond), 100*s.Fraction(ph))
+	fmt.Printf("load imbalance: time %.3f, output %.3f (1.000 = balanced)\n", s.TimeImbalance, s.OutputImbalance)
+	fmt.Println("phase breakdown (mean across ranks; messages/bytes are totals):")
+	for ph := metrics.Phase(0); ph < metrics.NumPhases; ph++ {
+		var msgs, bytes int64
+		for _, lt := range s.Links[ph] {
+			msgs += lt.Messages
+			bytes += lt.Bytes
+		}
+		fmt.Printf("  %-10s %8v  %5.1f%%  %8d msgs  %8.2f MiB\n",
+			ph, s.Times[ph].Round(time.Microsecond), 100*s.Fraction(ph), msgs, float64(bytes)/(1<<20))
 	}
 	st := w.TotalStats()
-	fmt.Printf("communication: %d messages, %.2f MiB total, %.2f MiB cross-node\n",
-		st.TotalMessages(), float64(st.TotalBytes())/(1<<20), float64(st.NetworkBytes())/(1<<20))
+	fmt.Printf("communication by link class (%d messages, %.2f MiB total):\n",
+		st.TotalMessages(), float64(st.TotalBytes())/(1<<20))
+	for _, lc := range simnet.LinkClasses {
+		if st.Messages[lc] == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %8d msgs  %8.2f MiB\n", lc, st.Messages[lc], float64(st.Bytes[lc])/(1<<20))
+	}
 	if verified {
 		fmt.Println("verification: globally sorted, partition sizes OK")
 	} else {

@@ -35,8 +35,8 @@ import (
 	"dhsort/internal/core"
 	"dhsort/internal/garray"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/simnet"
-	"dhsort/internal/trace"
 )
 
 // Comm is one rank's communicator handle; see Run.
@@ -70,7 +70,7 @@ const (
 type CostModel = simnet.CostModel
 
 // Recorder captures per-rank phase timings (see Config.Recorder).
-type Recorder = trace.Recorder
+type Recorder = metrics.Recorder
 
 // SuperMUCModel returns the cost model of the paper's evaluation machine
 // (SuperMUC Phase 2, Table I).  ranksPerNode is 16 or 28 in the paper;

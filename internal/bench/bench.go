@@ -23,10 +23,10 @@ import (
 	"dhsort/internal/hss"
 	"dhsort/internal/hyksort"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/samplesort"
 	"dhsort/internal/simnet"
 	"dhsort/internal/stats"
-	"dhsort/internal/trace"
 	"dhsort/internal/workload"
 )
 
@@ -89,36 +89,36 @@ func Find(name string) (Experiment, bool) {
 // sorter adapts one distributed sorting algorithm to the shared runner.
 type sorter struct {
 	name string
-	run  func(c *comm.Comm, local []uint64, scale float64, rec *trace.Recorder, seed uint64) ([]uint64, error)
+	run  func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, seed uint64) ([]uint64, error)
 }
 
 func dhsortSorter() sorter {
-	return sorter{"dhsort", func(c *comm.Comm, local []uint64, scale float64, rec *trace.Recorder, _ uint64) ([]uint64, error) {
+	return sorter{"dhsort", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
 		return core.Sort(c, local, keys.Uint64{}, core.Config{VirtualScale: scale, Recorder: rec})
 	}}
 }
 
 func hssSorter() sorter {
-	return sorter{"hss", func(c *comm.Comm, local []uint64, scale float64, rec *trace.Recorder, seed uint64) ([]uint64, error) {
+	return sorter{"hss", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, seed uint64) ([]uint64, error) {
 		return hss.Sort(c, local, keys.Uint64{}, hss.Config{VirtualScale: scale, Recorder: rec, Seed: seed})
 	}}
 }
 
 func samplesortSorter() sorter {
-	return sorter{"samplesort", func(c *comm.Comm, local []uint64, scale float64, rec *trace.Recorder, seed uint64) ([]uint64, error) {
+	return sorter{"samplesort", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, seed uint64) ([]uint64, error) {
 		return samplesort.Sort(c, local, keys.Uint64{}, samplesort.Config{
 			Variant: samplesort.RegularSampling, VirtualScale: scale, Recorder: rec, Seed: seed})
 	}}
 }
 
 func hyksortSorter() sorter {
-	return sorter{"hyksort", func(c *comm.Comm, local []uint64, scale float64, rec *trace.Recorder, _ uint64) ([]uint64, error) {
+	return sorter{"hyksort", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
 		return hyksort.Sort(c, local, keys.Uint64{}, hyksort.Config{VirtualScale: scale, Recorder: rec})
 	}}
 }
 
 func bitonicSorter() sorter {
-	return sorter{"bitonic", func(c *comm.Comm, local []uint64, scale float64, rec *trace.Recorder, _ uint64) ([]uint64, error) {
+	return sorter{"bitonic", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
 		return bitonic.Sort(c, local, keys.Uint64{}, bitonic.Config{VirtualScale: scale, Recorder: rec})
 	}}
 }
@@ -126,7 +126,7 @@ func bitonicSorter() sorter {
 // point is one measured configuration.
 type point struct {
 	Makespan time.Duration
-	Phases   trace.Summary
+	Phases   metrics.Summary
 }
 
 // runOnce executes one distributed sort under the model and verifies the
@@ -136,18 +136,20 @@ func runOnce(s sorter, p, perRank int, model *simnet.CostModel, scale float64, s
 	if err != nil {
 		return point{}, err
 	}
-	recs := make([]*trace.Recorder, p)
+	recs := make([]*metrics.Recorder, p)
 	var mu sync.Mutex
 	err = w.Run(func(c *comm.Comm) error {
 		local, err := spec.Rank(c.Rank(), perRank)
 		if err != nil {
 			return err
 		}
-		rec := trace.NewRecorder(c.Clock())
+		rec := metrics.ForComm(c)
 		out, err := s.run(c, local, scale, rec, spec.Seed)
 		if err != nil {
 			return err
 		}
+		rec.Finish()
+		rec.SetElements(len(local), len(out))
 		if !core.IsGloballySorted(c, out, keys.Uint64{}) {
 			return fmt.Errorf("%s produced an unsorted result", s.name)
 		}
@@ -159,19 +161,19 @@ func runOnce(s sorter, p, perRank int, model *simnet.CostModel, scale float64, s
 	if err != nil {
 		return point{}, err
 	}
-	return point{Makespan: w.Makespan(), Phases: trace.Summarize(recs)}, nil
+	return point{Makespan: w.Makespan(), Phases: metrics.Summarize(recs)}, nil
 }
 
 // series runs reps repetitions with distinct seeds and summarizes them.
-func series(s sorter, p, perRank int, model *simnet.CostModel, scale float64, spec workload.Spec, reps int) (stats.Summary, trace.Summary, error) {
+func series(s sorter, p, perRank int, model *simnet.CostModel, scale float64, spec workload.Spec, reps int) (stats.Summary, metrics.Summary, error) {
 	runs := make([]time.Duration, 0, reps)
-	var phases trace.Summary
+	var phases metrics.Summary
 	for rep := 0; rep < reps; rep++ {
 		sp := spec
 		sp.Seed = spec.Seed + uint64(rep)*1000003
 		pt, err := runOnce(s, p, perRank, model, scale, sp)
 		if err != nil {
-			return stats.Summary{}, trace.Summary{}, err
+			return stats.Summary{}, metrics.Summary{}, err
 		}
 		runs = append(runs, pt.Makespan)
 		if rep == 0 {

@@ -10,11 +10,11 @@ import (
 	"dhsort/internal/comm"
 	"dhsort/internal/core"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/prng"
 	"dhsort/internal/psort"
 	"dhsort/internal/simnet"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 	"dhsort/internal/workload"
 )
 
@@ -324,7 +324,7 @@ func volumeAndBalance(s sorter, p, perRank int, model *simnet.CostModel, scale f
 		if err != nil {
 			return err
 		}
-		var rec *trace.Recorder
+		var rec *metrics.Recorder
 		out, err := s.run(c, local, scale, rec, spec.Seed)
 		if err != nil {
 			return err

@@ -7,8 +7,8 @@ import (
 	"dhsort/internal/comm"
 	"dhsort/internal/core"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/simnet"
-	"dhsort/internal/trace"
 	"dhsort/internal/workload"
 )
 
@@ -59,7 +59,7 @@ func Overlap(o Options) error {
 
 // runOnceCfg runs a single dhsort configuration under the model.
 func runOnceCfg(p, perRank int, model *simnet.CostModel, spec workload.Spec, cfg core.Config) (point, error) {
-	s := sorter{"dhsort", func(c *comm.Comm, local []uint64, scale float64, rec *trace.Recorder, _ uint64) ([]uint64, error) {
+	s := sorter{"dhsort", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
 		cc := cfg
 		cc.Recorder = rec
 		return core.Sort(c, local, keys.Uint64{}, cc)

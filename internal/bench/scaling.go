@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"text/tabwriter"
 
+	"dhsort/internal/metrics"
 	"dhsort/internal/simnet"
 	"dhsort/internal/stats"
-	"dhsort/internal/trace"
 	"dhsort/internal/workload"
 )
 
@@ -94,9 +94,9 @@ func Fig2b(o Options) error {
 		s := pt.Phases
 		fmt.Fprintf(tw, "%d\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%d\n",
 			p, model.Topo.Nodes(p),
-			100*s.Fraction(trace.LocalSort), 100*s.Fraction(trace.Histogram),
-			100*s.Fraction(trace.Exchange), 100*s.Fraction(trace.Merge),
-			100*s.Fraction(trace.Other), s.MaxIterations)
+			100*s.Fraction(metrics.LocalSort), 100*s.Fraction(metrics.Histogram),
+			100*s.Fraction(metrics.Exchange), 100*s.Fraction(metrics.Merge),
+			100*s.Fraction(metrics.Other), s.MaxIterations)
 	}
 	return tw.Flush()
 }
@@ -174,9 +174,9 @@ func Fig3b(o Options) error {
 		s := pt.Phases
 		fmt.Fprintf(tw, "%d\t%d\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%d\t%.1f\n",
 			nodes, p,
-			100*s.Fraction(trace.LocalSort), 100*s.Fraction(trace.Histogram),
-			100*s.Fraction(trace.Exchange), 100*s.Fraction(trace.Merge),
-			100*s.Fraction(trace.Other), s.MaxIterations,
+			100*s.Fraction(metrics.LocalSort), 100*s.Fraction(metrics.Histogram),
+			100*s.Fraction(metrics.Exchange), 100*s.Fraction(metrics.Merge),
+			100*s.Fraction(metrics.Other), s.MaxIterations,
 			float64(s.ExchangedBytes)/(1<<30))
 	}
 	return tw.Flush()

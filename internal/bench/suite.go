@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dhsort/internal/metrics"
+	"dhsort/internal/simnet"
+	"dhsort/internal/workload"
+)
+
+// SuiteOptions configures the machine-readable metrics suite.
+type SuiteOptions struct {
+	// Smoke selects the tiny CI grid (one P, one workload, one rep)
+	// instead of the full grid.
+	Smoke bool
+	// Reps is the repetition count per point (0 means 3; smoke forces 1).
+	Reps int
+	// Seed is the base workload seed.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+func (o SuiteOptions) reps() int {
+	if o.Smoke {
+		return 1
+	}
+	if o.Reps <= 0 {
+		return 3
+	}
+	return o.Reps
+}
+
+// suiteGrid is the measured parameter grid.  All runs use the SuperMUC
+// PGAS cost model (virtual clocks), so every tracked metric is
+// deterministic for a given binary — exactly what the compare gate needs.
+type suiteGrid struct {
+	ps        []int
+	perRank   int
+	workloads []workload.Distribution
+}
+
+func (o SuiteOptions) grid() suiteGrid {
+	if o.Smoke {
+		return suiteGrid{
+			ps:        []int{8},
+			perRank:   512,
+			workloads: []workload.Distribution{workload.Uniform},
+		}
+	}
+	return suiteGrid{
+		// Powers of two so the bitonic baseline participates everywhere.
+		ps:        []int{16, 64},
+		perRank:   4096,
+		workloads: []workload.Distribution{workload.Uniform, workload.Normal, workload.Zipf},
+	}
+}
+
+// suiteRanksPerNode matches the paper's Charm++-comparison node width.
+const suiteRanksPerNode = 16
+
+// RunSuite measures every algorithm over the grid and returns the
+// versioned document cmd/bench serializes as BENCH_*.json.
+func RunSuite(o SuiteOptions) (metrics.Document, error) {
+	model := simnet.SuperMUC(suiteRanksPerNode, true)
+	grid := o.grid()
+	reps := o.reps()
+	doc := metrics.Document{
+		Schema: metrics.SchemaVersion,
+		Config: metrics.RunConfig{
+			Suite:        suiteName(o.Smoke),
+			Model:        "supermuc-pgas",
+			RanksPerNode: suiteRanksPerNode,
+			Reps:         reps,
+			Seed:         o.Seed,
+		},
+	}
+	sorters := []sorter{dhsortSorter(), hssSorter(), samplesortSorter(), hyksortSorter(), bitonicSorter()}
+	for _, s := range sorters {
+		for _, p := range grid.ps {
+			for _, dist := range grid.workloads {
+				spec := workload.Spec{Dist: dist, Seed: o.Seed + uint64(p), Span: 1e9}
+				rec, err := measurePoint(s, p, grid.perRank, model, spec, reps)
+				if err != nil {
+					return metrics.Document{}, fmt.Errorf("bench: suite point %s/p=%d/%s: %w", s.name, p, dist, err)
+				}
+				doc.Records = append(doc.Records, rec)
+				if o.Progress != nil {
+					fmt.Fprintf(o.Progress, "  %-12s p=%-4d %-8s makespan %v\n",
+						s.name, p, dist, time.Duration(rec.Makespan.MeanNS).Round(time.Microsecond))
+				}
+			}
+		}
+	}
+	return doc, nil
+}
+
+func suiteName(smoke bool) string {
+	if smoke {
+		return "smoke"
+	}
+	return "full"
+}
+
+// measurePoint runs one configuration reps times and folds the runs into a
+// schema record: makespan stats over all reps, phase/link breakdown and
+// imbalance factors from the first rep (deterministic under the model).
+func measurePoint(s sorter, p, perRank int, model *simnet.CostModel, spec workload.Spec, reps int) (metrics.Record, error) {
+	makespans := make([]time.Duration, 0, reps)
+	var summary metrics.Summary
+	for rep := 0; rep < reps; rep++ {
+		sp := spec
+		sp.Seed = spec.Seed + uint64(rep)*1000003
+		pt, err := runOnce(s, p, perRank, model, 1, sp)
+		if err != nil {
+			return metrics.Record{}, err
+		}
+		makespans = append(makespans, pt.Makespan)
+		if rep == 0 {
+			summary = pt.Phases
+		}
+	}
+	return metrics.NewRecord(s.name, p, perRank, string(spec.Dist), makespans, summary), nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"dhsort/internal/metrics"
+)
+
+// TestSuiteSmokeCoversAllAlgorithms runs the CI smoke grid and checks the
+// acceptance contract of the metrics subsystem: every algorithm emits a
+// record with per-superstep times and per-link-class message/byte
+// breakdowns, and the document round-trips through the versioned codec.
+func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
+	doc, err := RunSuite(SuiteOptions{Smoke: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"dhsort": false, "hss": false, "samplesort": false, "hyksort": false, "bitonic": false}
+	for _, r := range doc.Records {
+		if _, ok := want[r.Algorithm]; !ok {
+			t.Errorf("unexpected algorithm %q", r.Algorithm)
+			continue
+		}
+		want[r.Algorithm] = true
+		if r.Makespan.MeanNS <= 0 {
+			t.Errorf("%s: non-positive makespan %d", r.Key(), r.Makespan.MeanNS)
+		}
+		if len(r.Phases) == 0 {
+			t.Errorf("%s: no phase breakdown", r.Key())
+		}
+		var phaseTime, linkMsgs int64
+		for name, ph := range r.Phases {
+			phaseTime += ph.MeanNS
+			for _, l := range ph.Links {
+				linkMsgs += l.Messages
+				if l.Bytes < 0 || l.Messages < 0 {
+					t.Errorf("%s: negative link tally in phase %s", r.Key(), name)
+				}
+			}
+		}
+		if phaseTime <= 0 {
+			t.Errorf("%s: phase times sum to %d", r.Key(), phaseTime)
+		}
+		if linkMsgs <= 0 {
+			t.Errorf("%s: no per-phase link traffic recorded", r.Key())
+		}
+		if len(r.Totals.Links) == 0 {
+			t.Errorf("%s: no link totals", r.Key())
+		}
+		if r.Imbalance.Time < 1 {
+			t.Errorf("%s: time imbalance %v < 1", r.Key(), r.Imbalance.Time)
+		}
+		// dhsort and hss guarantee perfect partitioning on this workload.
+		if (r.Algorithm == "dhsort" || r.Algorithm == "hss") && r.Imbalance.Output != 1 {
+			t.Errorf("%s: output imbalance %v, want 1.0 (perfect partitioning)", r.Key(), r.Imbalance.Output)
+		}
+		if r.Algorithm == "dhsort" && r.Iterations == 0 {
+			t.Errorf("%s: histogramming iterations not recorded", r.Key())
+		}
+	}
+	for alg, seen := range want {
+		if !seen {
+			t.Errorf("algorithm %s missing from suite", alg)
+		}
+	}
+
+	// The emitted document must round-trip and self-compare clean.
+	var buf bytes.Buffer
+	if err := metrics.Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := metrics.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := metrics.Compare(back, back, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed() {
+		t.Error("self-comparison must not regress")
+	}
+}
+
+// TestSuiteDeterministic pins the property the regression gate relies on:
+// two suite runs with the same seed produce identical documents.
+func TestSuiteDeterministic(t *testing.T) {
+	a, err := RunSuite(SuiteOptions{Smoke: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuite(SuiteOptions{Smoke: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, bb bytes.Buffer
+	if err := metrics.Encode(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Encode(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Error("suite output is not deterministic for a fixed seed")
+	}
+}

@@ -15,8 +15,8 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 )
 
 // Config tunes a bitonic sort.
@@ -24,7 +24,7 @@ type Config struct {
 	// VirtualScale prices bulk data at a multiple of its real size.
 	VirtualScale float64
 	// Recorder receives phase timings.
-	Recorder *trace.Recorder
+	Recorder *metrics.Recorder
 }
 
 func (cfg Config) scale() float64 {
@@ -54,7 +54,7 @@ func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, err
 	rec := cfg.Recorder
 	scale := cfg.scale()
 
-	rec.Enter(trace.LocalSort)
+	rec.Enter(metrics.LocalSort)
 	cur := make([]K, len(local))
 	copy(cur, local)
 	sortutil.Sort(cur, ops.Less)
@@ -69,7 +69,7 @@ func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, err
 	// Bitonic merge stages: after stage k, blocks of k consecutive ranks
 	// hold globally sorted data, alternating ascending/descending so the
 	// next stage sees bitonic sequences.
-	rec.Enter(trace.Exchange)
+	rec.Enter(metrics.Exchange)
 	stages := bits.Len(uint(p)) - 1
 	const tag = 0
 	for s := 1; s <= stages; s++ {
@@ -81,12 +81,12 @@ func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, err
 			keepLow := ascending == (c.Rank() < partner)
 			comm.SendScaled(c, partner, tag, cur, scale)
 			other := comm.Recv[K](c, partner, tag)
-			rec.Enter(trace.Merge)
+			rec.Enter(metrics.Merge)
 			cur = compareSplit(cur, other, keepLow, ops.Less)
 			if model != nil {
 				c.Clock().Advance(model.MergeCost(2*len(cur), 2))
 			}
-			rec.Enter(trace.Exchange)
+			rec.Enter(metrics.Exchange)
 		}
 	}
 	rec.Finish()

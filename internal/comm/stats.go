@@ -3,11 +3,20 @@ package comm
 import "dhsort/internal/simnet"
 
 // Stats accumulates one rank's communication volume, broken down by link
-// class.  It is owned by the rank goroutine (no locking) and aggregated by
-// the World after Run.
+// class.
+//
+// Ownership (audited for the race detector): a Stats value is confined to
+// its rank goroutine for the duration of World.Run — record is only called
+// from Comm.send on that goroutine, and Split shares the same pointer
+// because child communicators run on the same goroutine.  The World takes a
+// snapshot copy under World.mu when the rank's function returns, so
+// World-side aggregation (TotalStats, RankStats) never reads a live
+// accumulator.  Do not retain the pointer returned by Comm.Stats past the
+// rank function's lifetime unless all ranks have finished (e.g. after
+// World.Run returns, which establishes the necessary happens-before edge).
 type Stats struct {
-	Messages [4]int64 // per simnet.LinkClass
-	Bytes    [4]int64
+	Messages [simnet.NumLinkClasses]int64 // per simnet.LinkClass
+	Bytes    [simnet.NumLinkClasses]int64
 }
 
 func (s *Stats) record(lc simnet.LinkClass, bytes int) {
@@ -15,12 +24,23 @@ func (s *Stats) record(lc simnet.LinkClass, bytes int) {
 	s.Bytes[lc] += int64(bytes)
 }
 
-// Add accumulates o into s.
+// Add accumulates o into s.  The caller must own both values (the World
+// calls it under its mutex on snapshot copies).
 func (s *Stats) Add(o *Stats) {
 	for i := range s.Messages {
 		s.Messages[i] += o.Messages[i]
 		s.Bytes[i] += o.Bytes[i]
 	}
+}
+
+// Sub returns s - o per field, for delta accounting between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	var d Stats
+	for i := range s.Messages {
+		d.Messages[i] = s.Messages[i] - o.Messages[i]
+		d.Bytes[i] = s.Bytes[i] - o.Bytes[i]
+	}
+	return d
 }
 
 // TotalMessages returns the message count across all link classes.

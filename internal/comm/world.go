@@ -100,6 +100,11 @@ func (w *World) Run(fn func(c *Comm) error) error {
 				errs[rank] = fmt.Errorf("comm: rank %d: %w", rank, err)
 				w.abort()
 			}
+			// Snapshot the rank's clock and stats under the world mutex:
+			// ranks finish concurrently, and accessors (Makespan,
+			// TotalStats, RankStats) may poll while other ranks are still
+			// running.  The copy is taken on the owning goroutine, so the
+			// live accumulator itself is never read cross-goroutine.
 			w.mu.Lock()
 			w.finals[rank] = c.clock.Now()
 			w.stats[rank] = *c.stats
@@ -142,6 +147,8 @@ func (w *World) RankTimes() []time.Duration {
 }
 
 // TotalStats sums the per-rank communication statistics of the last Run.
+// Safe to call concurrently with Run; ranks still executing contribute
+// their stats once they finish.
 func (w *World) TotalStats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -150,4 +157,15 @@ func (w *World) TotalStats() Stats {
 		total.Add(&w.stats[i])
 	}
 	return total
+}
+
+// RankStats returns a copy of the per-rank communication statistics of the
+// last Run.  Safe to call concurrently with Run (same contract as
+// TotalStats).
+func (w *World) RankStats() []Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Stats, len(w.stats))
+	copy(out, w.stats)
+	return out
 }

@@ -25,7 +25,7 @@ import (
 	"fmt"
 
 	"dhsort/internal/comm"
-	"dhsort/internal/trace"
+	"dhsort/internal/metrics"
 )
 
 // MergeStrategy selects the Local Merge algorithm (§V-C).
@@ -106,7 +106,7 @@ type Config struct {
 
 	// Recorder, when non-nil, receives this rank's phase timings and
 	// iteration counts.
-	Recorder *trace.Recorder
+	Recorder *metrics.Recorder
 }
 
 // scale returns the effective VirtualScale.

@@ -3,8 +3,8 @@ package core
 import (
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 )
 
 // ComputeCuts turns the splitter values into per-rank cut positions such
@@ -140,7 +140,7 @@ func ExchangeAndMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []i
 		recv, recvCounts = comm.AlltoallvWith(c, sorted, sendCounts, cfg.Exchange, scale)
 	}
 
-	cfg.Recorder.Enter(trace.Merge)
+	cfg.Recorder.Enter(metrics.Merge)
 	runs := make([][]K, 0, p)
 	off := 0
 	for _, n := range recvCounts {
@@ -198,12 +198,12 @@ func overlapExchangeMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], send
 		for len(stack) >= 2 && len(stack[len(stack)-1])*2 >= len(stack[len(stack)-2]) {
 			a, b := stack[len(stack)-2], stack[len(stack)-1]
 			stack = stack[:len(stack)-2]
-			cfg.Recorder.Enter(trace.Merge)
+			cfg.Recorder.Enter(metrics.Merge)
 			merged := sortutil.Merge(a, b, ops.Less)
 			if model != nil {
 				c.Clock().Advance(model.MergeCost(int(float64(len(merged))*scale), 2))
 			}
-			cfg.Recorder.Enter(trace.Exchange)
+			cfg.Recorder.Enter(metrics.Exchange)
 			stack = append(stack, merged)
 		}
 	}
@@ -219,7 +219,7 @@ func overlapExchangeMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], send
 		}
 		push(comm.SendrecvScaled(c, partner, overlapTag+r, sorted[offsets[partner]:offsets[partner+1]], scale))
 	}
-	cfg.Recorder.Enter(trace.Merge)
+	cfg.Recorder.Enter(metrics.Merge)
 	acc := sortutil.MergeKLoser(stack, ops.Less)
 	if model != nil && len(stack) > 1 {
 		c.Clock().Advance(model.MergeCost(int(float64(len(acc))*scale), len(stack)))

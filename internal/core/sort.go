@@ -3,8 +3,8 @@ package core
 import (
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 )
 
 // Sort sorts the distributed sequence whose local share on this rank is
@@ -48,7 +48,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 	rec := cfg.Recorder
 
 	// Superstep 1: Local Sort.
-	rec.Enter(trace.LocalSort)
+	rec.Enter(metrics.LocalSort)
 	sorted := make([]K, len(local))
 	copy(sorted, local)
 	sortutil.Sort(sorted, ops.Less)
@@ -62,7 +62,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 	// Superstep 2: Splitting.  Targets are the capacity prefix sums of
 	// Definition 3; the tolerance comes from Definition 1.
-	rec.Enter(trace.Other)
+	rec.Enter(metrics.Other)
 	capacities := comm.AllgatherOne(c, int64(len(local)))
 	targets := make([]int64, p-1)
 	var totalN, acc int64
@@ -75,13 +75,13 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 	}
 	tol := int64(cfg.Epsilon * float64(totalN) / (2 * float64(p)))
 
-	rec.Enter(trace.Histogram)
+	rec.Enter(metrics.Histogram)
 	splitters, _ := FindSplitters(c, sorted, ops, targets, tol, cfg)
 
 	// Superstep 3: Data Exchange (permutation matrix + ALLTOALLV).
-	rec.Enter(trace.Other)
+	rec.Enter(metrics.Other)
 	cuts := ComputeCuts(c, sorted, ops, splitters, targets)
-	rec.Enter(trace.Exchange)
+	rec.Enter(metrics.Exchange)
 	out := ExchangeAndMerge(c, sorted, ops, cuts, cfg) // enters Merge internally
 	rec.Finish()
 	return out, nil

@@ -7,9 +7,9 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/simnet"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 	"dhsort/internal/workload"
 )
 
@@ -198,12 +198,12 @@ func TestSplittersEmptyWorld(t *testing.T) {
 func TestRecorderCapturesPhasesAndIterations(t *testing.T) {
 	model := simnet.SuperMUC(4, true)
 	w, _ := comm.NewWorld(8, model)
-	recs := make([]*trace.Recorder, 8)
+	recs := make([]*metrics.Recorder, 8)
 	var mu sync.Mutex
 	err := w.Run(func(c *comm.Comm) error {
 		spec := workload.Spec{Dist: workload.Uniform, Seed: 60, Span: 1e9}
 		local, _ := spec.Rank(c.Rank(), 2000)
-		rec := trace.NewRecorder(c.Clock())
+		rec := metrics.ForComm(c)
 		_, err := Sort(c, local, u64, Config{Recorder: rec})
 		mu.Lock()
 		recs[c.Rank()] = rec
@@ -213,14 +213,14 @@ func TestRecorderCapturesPhasesAndIterations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := trace.Summarize(recs)
+	s := metrics.Summarize(recs)
 	// With the uniqueness triples, a boundary that falls between two
 	// equal keys resolves through the 64-bit suffix, so the bound is the
 	// 128-bit embedding width rather than the key width.
 	if s.MaxIterations < 5 || s.MaxIterations > 128 {
 		t.Errorf("iterations = %d", s.MaxIterations)
 	}
-	for _, p := range []trace.Phase{trace.LocalSort, trace.Histogram, trace.Exchange, trace.Merge} {
+	for _, p := range []metrics.Phase{metrics.LocalSort, metrics.Histogram, metrics.Exchange, metrics.Merge} {
 		if s.Times[p] <= 0 {
 			t.Errorf("phase %v has no recorded time", p)
 		}
@@ -228,8 +228,8 @@ func TestRecorderCapturesPhasesAndIterations(t *testing.T) {
 	if s.ExchangedBytes <= 0 {
 		t.Error("no exchange volume recorded")
 	}
-	if math.Abs(1-s.Fraction(trace.LocalSort)-s.Fraction(trace.Histogram)-
-		s.Fraction(trace.Exchange)-s.Fraction(trace.Merge)-s.Fraction(trace.Other)) > 1e-9 {
+	if math.Abs(1-s.Fraction(metrics.LocalSort)-s.Fraction(metrics.Histogram)-
+		s.Fraction(metrics.Exchange)-s.Fraction(metrics.Merge)-s.Fraction(metrics.Other)) > 1e-9 {
 		t.Error("fractions do not sum to 1")
 	}
 }

@@ -18,9 +18,9 @@ import (
 	"dhsort/internal/comm"
 	"dhsort/internal/core"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/prng"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 	"dhsort/internal/xmath"
 )
 
@@ -45,7 +45,7 @@ type Config struct {
 	// VirtualScale prices bulk data at a multiple of its real size.
 	VirtualScale float64
 	// Recorder receives phase timings and iteration counts.
-	Recorder *trace.Recorder
+	Recorder *metrics.Recorder
 }
 
 func (cfg Config) oversampling() int {
@@ -94,7 +94,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		scale = cfg.VirtualScale
 	}
 
-	rec.Enter(trace.LocalSort)
+	rec.Enter(metrics.LocalSort)
 	sorted := make([]K, len(local))
 	copy(sorted, local)
 	sortutil.Sort(sorted, ops.Less)
@@ -106,7 +106,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		return sorted, nil
 	}
 
-	rec.Enter(trace.Other)
+	rec.Enter(metrics.Other)
 	capacities := comm.AllgatherOne(c, int64(len(local)))
 	targets := make([]int64, p-1)
 	var totalN, acc int64
@@ -119,12 +119,12 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 	}
 	tol := int64(cfg.Epsilon * float64(totalN) / (2 * float64(p)))
 
-	rec.Enter(trace.Histogram)
+	rec.Enter(metrics.Histogram)
 	splitters := FindSplittersSampled(c, sorted, ops, targets, tol, cfg)
 
-	rec.Enter(trace.Other)
+	rec.Enter(metrics.Other)
 	cuts := core.ComputeCuts(c, sorted, ops, splitters, targets)
-	rec.Enter(trace.Exchange)
+	rec.Enter(metrics.Exchange)
 	out := core.ExchangeAndMerge(c, sorted, ops, cuts, cfg.coreCfg())
 	rec.Finish()
 	return out, nil

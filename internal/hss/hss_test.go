@@ -7,8 +7,8 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/simnet"
-	"dhsort/internal/trace"
 	"dhsort/internal/workload"
 )
 
@@ -132,12 +132,12 @@ func TestHSSConvergesFasterOnUniformThanSkewed(t *testing.T) {
 	iters := func(d workload.Distribution) int {
 		p := 8
 		w, _ := comm.NewWorld(p, nil)
-		recs := make([]*trace.Recorder, p)
+		recs := make([]*metrics.Recorder, p)
 		var mu sync.Mutex
 		err := w.Run(func(c *comm.Comm) error {
 			spec := workload.Spec{Dist: d, Seed: 21, Span: 1e9}
 			local, _ := spec.Rank(c.Rank(), 1000)
-			rec := trace.NewRecorder(c.Clock())
+			rec := metrics.ForComm(c)
 			_, err := Sort(c, local, u64, Config{Seed: 9, Recorder: rec})
 			mu.Lock()
 			recs[c.Rank()] = rec
@@ -147,7 +147,7 @@ func TestHSSConvergesFasterOnUniformThanSkewed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return trace.Summarize(recs).MaxIterations
+		return metrics.Summarize(recs).MaxIterations
 	}
 	uni := iters(workload.Uniform)
 	zipf := iters(workload.Zipf)

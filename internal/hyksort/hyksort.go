@@ -16,8 +16,8 @@ import (
 	"dhsort/internal/comm"
 	"dhsort/internal/core"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 )
 
 // Config tunes a HykSort run.
@@ -31,7 +31,7 @@ type Config struct {
 	// VirtualScale prices bulk data at a multiple of its real size.
 	VirtualScale float64
 	// Recorder receives phase timings.
-	Recorder *trace.Recorder
+	Recorder *metrics.Recorder
 }
 
 func (cfg Config) arity() int {
@@ -70,7 +70,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 	rec := cfg.Recorder
 	scale := cfg.scale()
 
-	rec.Enter(trace.LocalSort)
+	rec.Enter(metrics.LocalSort)
 	sorted := make([]K, len(local))
 	copy(sorted, local)
 	sortutil.Sort(sorted, ops.Less)
@@ -97,7 +97,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		// current keys (HykSort uses sampled histogram probes; the exact
 		// bisection keeps this baseline's balance honest so the
 		// benchmark isolates the communicator-split cost).
-		rec.Enter(trace.Histogram)
+		rec.Enter(metrics.Histogram)
 		counts := comm.AllgatherOne(group, int64(len(sorted)))
 		var total int64
 		for _, n := range counts {
@@ -111,7 +111,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 		// Bucketize and exchange: bucket g goes to the member of
 		// subgroup g with our intra-subgroup offset (wrapped).
-		rec.Enter(trace.Exchange)
+		rec.Enter(metrics.Exchange)
 		sendCounts := make([]int, p)
 		prev := 0
 		for g := 0; g < k; g++ {
@@ -134,7 +134,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		recv, recvCounts := comm.Alltoallv(group, sorted, sendCounts, scale)
 
 		// Merge received runs to keep the invariant "local data sorted".
-		rec.Enter(trace.Merge)
+		rec.Enter(metrics.Merge)
 		runs := make([][]K, 0, len(recvCounts))
 		off := 0
 		for _, n := range recvCounts {
@@ -150,7 +150,7 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 		// Recurse into this rank's subgroup — the communicator split the
 		// paper's design avoids.
-		rec.Enter(trace.Other)
+		rec.Enter(metrics.Other)
 		myGroup := 0
 		for g := 0; g < k; g++ {
 			if group.Rank() >= gStart[g] && group.Rank() < gStart[g+1] {

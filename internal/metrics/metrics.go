@@ -1,0 +1,274 @@
+// Package metrics is the repo's observability layer: it captures per-rank,
+// per-superstep timings together with communication volume by link class,
+// aggregates them across ranks (including load-imbalance factors), and
+// defines the stable, versioned JSON schema the bench binary emits — the
+// machine-readable counterpart to the per-phase breakdowns the paper's
+// evaluation (Figs. 2-4) is built from.
+//
+// The Recorder supersedes trace.Recorder: it keeps the same nil-safe phase
+// API every algorithm threads through its Config, and additionally diffs
+// the rank's comm.Stats accumulator at every phase boundary, so message
+// counts and byte volumes are attributed to the superstep that caused them.
+package metrics
+
+import (
+	"time"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/simnet"
+	"dhsort/internal/trace"
+)
+
+// Phase identifies one superstep of the sorting pipeline; the constants
+// re-export the trace package's enum so algorithm code only needs one
+// import.
+type Phase = trace.Phase
+
+// The phases the paper's evaluation breaks executions into.
+const (
+	// LocalSort is the initial local sort superstep.
+	LocalSort = trace.LocalSort
+	// Histogram is the splitter-determination superstep (§V-A).
+	Histogram = trace.Histogram
+	// Exchange is the ALL-TO-ALLV data exchange superstep (§V-B).
+	Exchange = trace.Exchange
+	// Merge is the local merge superstep (§V-C).
+	Merge = trace.Merge
+	// Other covers setup, permutation-matrix construction, and teardown.
+	Other = trace.Other
+	// NumPhases is the number of phases.
+	NumPhases = trace.NumPhases
+)
+
+// LinkTally is a (message count, byte volume) pair for one link class.
+type LinkTally struct {
+	Messages int64
+	Bytes    int64
+}
+
+// add accumulates o into t.
+func (t *LinkTally) add(o LinkTally) {
+	t.Messages += o.Messages
+	t.Bytes += o.Bytes
+}
+
+// Recorder accumulates one rank's per-phase time (against its clock, wall
+// or simulated) and per-phase communication volume by link class (against
+// its comm.Stats accumulator).  A nil *Recorder is valid and records
+// nothing, so algorithms can run uninstrumented.  A Recorder is confined to
+// its rank goroutine; aggregate with Summarize after World.Run returns.
+type Recorder struct {
+	clock    *simnet.Clock
+	stats    *comm.Stats
+	mark     time.Duration
+	statMark comm.Stats
+	cur      Phase
+
+	// Times is the accumulated duration per phase.
+	Times [NumPhases]time.Duration
+	// Links is the communication volume per phase and link class.
+	Links [NumPhases][simnet.NumLinkClasses]LinkTally
+	// Iterations counts histogramming iterations (§V-A).
+	Iterations int
+	// ExchangedBytes counts this rank's outgoing data-exchange volume as
+	// priced by the algorithm (includes VirtualScale inflation).
+	ExchangedBytes int64
+	// ElementsIn and ElementsOut are the rank's partition sizes before and
+	// after sorting, feeding the output-imbalance factor.
+	ElementsIn, ElementsOut int
+}
+
+// NewRecorder returns a recorder ticking on clock and attributing the
+// deltas of stats to phases, starting in Other.  stats may be nil to record
+// times only.
+func NewRecorder(clock *simnet.Clock, stats *comm.Stats) *Recorder {
+	r := &Recorder{clock: clock, stats: stats, mark: clock.Now(), cur: Other}
+	if stats != nil {
+		r.statMark = *stats
+	}
+	return r
+}
+
+// ForComm returns a recorder bound to the rank's clock and stats
+// accumulator — the standard way to instrument a rank function.
+func ForComm(c *comm.Comm) *Recorder {
+	return NewRecorder(c.Clock(), c.Stats())
+}
+
+// Enter closes the current phase and starts p.
+func (r *Recorder) Enter(p Phase) {
+	if r == nil {
+		return
+	}
+	now := r.clock.Now()
+	r.Times[r.cur] += now - r.mark
+	r.mark = now
+	if r.stats != nil {
+		d := r.stats.Sub(r.statMark)
+		for lc := 0; lc < int(simnet.NumLinkClasses); lc++ {
+			r.Links[r.cur][lc].add(LinkTally{Messages: d.Messages[lc], Bytes: d.Bytes[lc]})
+		}
+		r.statMark = *r.stats
+	}
+	r.cur = p
+}
+
+// Finish closes the current phase (into its accumulator) and parks the
+// recorder in Other.
+func (r *Recorder) Finish() {
+	r.Enter(Other)
+}
+
+// AddIteration bumps the histogramming iteration counter.
+func (r *Recorder) AddIteration() {
+	if r != nil {
+		r.Iterations++
+	}
+}
+
+// AddExchangedBytes accounts outgoing exchange volume.
+func (r *Recorder) AddExchangedBytes(n int64) {
+	if r != nil {
+		r.ExchangedBytes += n
+	}
+}
+
+// SetElements records the rank's input and output partition sizes.
+func (r *Recorder) SetElements(in, out int) {
+	if r != nil {
+		r.ElementsIn, r.ElementsOut = in, out
+	}
+}
+
+// Total returns the summed phase times.
+func (r *Recorder) Total() time.Duration {
+	var t time.Duration
+	for _, d := range r.Times {
+		t += d
+	}
+	return t
+}
+
+// Summary aggregates recorders across the ranks of one run.
+type Summary struct {
+	// Ranks is the number of (non-nil) recorders aggregated.
+	Ranks int
+	// Times is the mean per-phase duration across ranks.
+	Times [NumPhases]time.Duration
+	// MaxTimes is the slowest rank's duration per phase.
+	MaxTimes [NumPhases]time.Duration
+	// Links is the total communication volume across ranks, per phase and
+	// link class.
+	Links [NumPhases][simnet.NumLinkClasses]LinkTally
+	// MaxIterations is the largest per-rank iteration count (iterations
+	// are identical on every rank, so this is *the* iteration count).
+	MaxIterations int
+	// ExchangedBytes is the total exchanged volume across ranks.
+	ExchangedBytes int64
+	// TimeImbalance is max(rank total time) / mean(rank total time) — the
+	// load-imbalance factor of the run (1.0 = perfectly balanced).
+	TimeImbalance float64
+	// OutputImbalance is max(rank output size) / mean(rank output size):
+	// 1.0 under perfect partitioning (Definition 1 with ε = 0).
+	OutputImbalance float64
+}
+
+// Summarize aggregates per-rank recorders (nil entries are skipped).
+func Summarize(recs []*Recorder) Summary {
+	var s Summary
+	var totalTime, maxTotal time.Duration
+	var totalOut, maxOut int64
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		s.Ranks++
+		var rankTotal time.Duration
+		for p := Phase(0); p < NumPhases; p++ {
+			s.Times[p] += r.Times[p]
+			rankTotal += r.Times[p]
+			if r.Times[p] > s.MaxTimes[p] {
+				s.MaxTimes[p] = r.Times[p]
+			}
+			for lc := 0; lc < int(simnet.NumLinkClasses); lc++ {
+				s.Links[p][lc].add(r.Links[p][lc])
+			}
+		}
+		totalTime += rankTotal
+		if rankTotal > maxTotal {
+			maxTotal = rankTotal
+		}
+		totalOut += int64(r.ElementsOut)
+		if int64(r.ElementsOut) > maxOut {
+			maxOut = int64(r.ElementsOut)
+		}
+		if r.Iterations > s.MaxIterations {
+			s.MaxIterations = r.Iterations
+		}
+		s.ExchangedBytes += r.ExchangedBytes
+	}
+	if s.Ranks > 0 {
+		for p := Phase(0); p < NumPhases; p++ {
+			s.Times[p] /= time.Duration(s.Ranks)
+		}
+		if totalTime > 0 {
+			s.TimeImbalance = float64(maxTotal) * float64(s.Ranks) / float64(totalTime)
+		}
+		if totalOut > 0 {
+			s.OutputImbalance = float64(maxOut) * float64(s.Ranks) / float64(totalOut)
+		}
+	}
+	return s
+}
+
+// Total returns the summed mean phase times.
+func (s Summary) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.Times {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns phase p's share of the total (0 when the total is zero).
+func (s Summary) Fraction(p Phase) float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Times[p]) / float64(total)
+}
+
+// TotalLinks sums the per-phase link tallies into per-link-class totals.
+func (s Summary) TotalLinks() [simnet.NumLinkClasses]LinkTally {
+	var out [simnet.NumLinkClasses]LinkTally
+	for p := Phase(0); p < NumPhases; p++ {
+		for lc := 0; lc < int(simnet.NumLinkClasses); lc++ {
+			out[lc].add(s.Links[p][lc])
+		}
+	}
+	return out
+}
+
+// TotalMessages returns the message count across all phases and link classes.
+func (s Summary) TotalMessages() int64 {
+	var t int64
+	for _, lt := range s.TotalLinks() {
+		t += lt.Messages
+	}
+	return t
+}
+
+// TotalBytes returns the byte volume across all phases and link classes.
+func (s Summary) TotalBytes() int64 {
+	var t int64
+	for _, lt := range s.TotalLinks() {
+		t += lt.Bytes
+	}
+	return t
+}
+
+// NetworkBytes returns the volume that crossed node boundaries.
+func (s Summary) NetworkBytes() int64 {
+	return s.TotalLinks()[simnet.Network].Bytes
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dhsort/internal/simnet"
+)
+
+// SchemaVersion identifies the JSON document layout.  Bump it only on
+// incompatible changes; the compare gate refuses to diff documents with
+// mismatched schemas.
+const SchemaVersion = "dhsort-bench/v1"
+
+// Document is the top-level benchmark artifact (BENCH_*.json).
+type Document struct {
+	// Schema is always SchemaVersion.
+	Schema string `json:"schema"`
+	// Config records how the suite was run.
+	Config RunConfig `json:"config"`
+	// Records holds one entry per (algorithm, P, per-rank size, workload)
+	// point, sorted by Record.Key.
+	Records []Record `json:"records"`
+}
+
+// RunConfig describes the suite configuration that produced a document.
+type RunConfig struct {
+	// Suite is "full" or "smoke".
+	Suite string `json:"suite"`
+	// Model names the cost model ("supermuc-pgas" / "supermuc-mpi").
+	Model string `json:"model"`
+	// RanksPerNode is the modelled node width.
+	RanksPerNode int `json:"ranks_per_node"`
+	// Reps is the repetition count per point.
+	Reps int `json:"reps"`
+	// Seed is the base workload seed.
+	Seed uint64 `json:"seed"`
+}
+
+// DurationStat summarizes a repeated timing in nanoseconds of virtual (or
+// wall) time.
+type DurationStat struct {
+	MeanNS int64 `json:"mean_ns"`
+	MinNS  int64 `json:"min_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// NewDurationStat summarizes reps.
+func NewDurationStat(reps []time.Duration) DurationStat {
+	if len(reps) == 0 {
+		return DurationStat{}
+	}
+	var sum, min, max time.Duration
+	min = reps[0]
+	for _, d := range reps {
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return DurationStat{
+		MeanNS: int64(sum) / int64(len(reps)),
+		MinNS:  int64(min),
+		MaxNS:  int64(max),
+	}
+}
+
+// LinkStat is the JSON form of a LinkTally.
+type LinkStat struct {
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// PhaseStat is one superstep's contribution: time across ranks plus the
+// communication it caused, keyed by link-class name.
+type PhaseStat struct {
+	// MeanNS is the mean per-rank duration of the phase.
+	MeanNS int64 `json:"mean_ns"`
+	// MaxNS is the slowest rank's duration of the phase.
+	MaxNS int64 `json:"max_ns"`
+	// Links maps link-class name ("self", "same-numa", "cross-numa",
+	// "network") to the total volume the phase moved over it; classes with
+	// no traffic are omitted.
+	Links map[string]LinkStat `json:"links,omitempty"`
+}
+
+// Imbalance carries the run's load-imbalance factors (1.0 = balanced).
+type Imbalance struct {
+	Time   float64 `json:"time"`
+	Output float64 `json:"output"`
+}
+
+// Totals aggregates a record across phases.
+type Totals struct {
+	Links          map[string]LinkStat `json:"links,omitempty"`
+	ExchangedBytes int64               `json:"exchanged_bytes"`
+}
+
+// Record is one measured configuration.
+type Record struct {
+	Algorithm string `json:"algorithm"`
+	P         int    `json:"p"`
+	PerRank   int    `json:"per_rank"`
+	Workload  string `json:"workload"`
+	Reps      int    `json:"reps"`
+	// Makespan is the virtual parallel execution time (max over ranks),
+	// summarized over repetitions.
+	Makespan DurationStat `json:"makespan"`
+	// Iterations is the histogramming iteration count (first repetition).
+	Iterations int       `json:"iterations"`
+	Imbalance  Imbalance `json:"imbalance"`
+	// Phases holds the per-superstep breakdown of the first repetition,
+	// keyed by phase name (LocalSort, Histogram, Exchange, Merge, Other).
+	Phases map[string]PhaseStat `json:"phases"`
+	Totals Totals               `json:"totals"`
+}
+
+// Key identifies the configuration a record measures; compare matches
+// records across documents by it.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s/p=%d/n=%d/%s", r.Algorithm, r.P, r.PerRank, r.Workload)
+}
+
+// linkMap converts per-link tallies to the JSON map form, omitting idle
+// classes.
+func linkMap(tallies [simnet.NumLinkClasses]LinkTally) map[string]LinkStat {
+	out := make(map[string]LinkStat)
+	for _, lc := range simnet.LinkClasses {
+		t := tallies[lc]
+		if t.Messages == 0 && t.Bytes == 0 {
+			continue
+		}
+		out[lc.String()] = LinkStat{Messages: t.Messages, Bytes: t.Bytes}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// NewRecord builds a record from a run's repetition makespans and the
+// first repetition's cross-rank summary.
+func NewRecord(algorithm string, p, perRank int, workload string, makespans []time.Duration, s Summary) Record {
+	phases := make(map[string]PhaseStat, int(NumPhases))
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		st := PhaseStat{
+			MeanNS: int64(s.Times[ph]),
+			MaxNS:  int64(s.MaxTimes[ph]),
+			Links:  linkMap(s.Links[ph]),
+		}
+		if st.MeanNS == 0 && st.MaxNS == 0 && st.Links == nil {
+			continue
+		}
+		phases[ph.String()] = st
+	}
+	return Record{
+		Algorithm:  algorithm,
+		P:          p,
+		PerRank:    perRank,
+		Workload:   workload,
+		Reps:       len(makespans),
+		Makespan:   NewDurationStat(makespans),
+		Iterations: s.MaxIterations,
+		Imbalance:  Imbalance{Time: round3(s.TimeImbalance), Output: round3(s.OutputImbalance)},
+		Phases:     phases,
+		Totals: Totals{
+			Links:          linkMap(s.TotalLinks()),
+			ExchangedBytes: s.ExchangedBytes,
+		},
+	}
+}
+
+// round3 keeps imbalance factors stable across platforms (3 decimals).
+func round3(f float64) float64 {
+	return float64(int64(f*1000+0.5)) / 1000
+}
+
+// Encode writes d as stable, indented JSON: struct fields in declaration
+// order, map keys sorted (encoding/json's guarantee), trailing newline.
+func Encode(w io.Writer, d Document) error {
+	d.Schema = SchemaVersion
+	sort.SliceStable(d.Records, func(i, j int) bool { return d.Records[i].Key() < d.Records[j].Key() })
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode reads a document and verifies its schema version.
+func Decode(r io.Reader) (Document, error) {
+	var d Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return Document{}, fmt.Errorf("metrics: decoding document: %w", err)
+	}
+	if d.Schema != SchemaVersion {
+		return Document{}, fmt.Errorf("metrics: schema %q is not %q", d.Schema, SchemaVersion)
+	}
+	return d, nil
+}

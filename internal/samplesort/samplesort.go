@@ -15,9 +15,9 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
 	"dhsort/internal/prng"
 	"dhsort/internal/sortutil"
-	"dhsort/internal/trace"
 )
 
 // Variant selects the sampling strategy.
@@ -52,7 +52,7 @@ type Config struct {
 	// matching core.Config.VirtualScale.
 	VirtualScale float64
 	// Recorder receives phase timings.
-	Recorder *trace.Recorder
+	Recorder *metrics.Recorder
 }
 
 func (cfg Config) oversampling() int {
@@ -84,7 +84,7 @@ func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, err
 
 	// Local sort first (needed by regular sampling and by the partition
 	// step's binary searches).
-	rec.Enter(trace.LocalSort)
+	rec.Enter(metrics.LocalSort)
 	sorted := make([]K, len(local))
 	copy(sorted, local)
 	sortutil.Sort(sorted, ops.Less)
@@ -97,7 +97,7 @@ func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, err
 	}
 
 	// 1. Sampling: each rank contributes s keys.
-	rec.Enter(trace.Histogram) // splitter determination phase
+	rec.Enter(metrics.Histogram) // splitter determination phase
 	s := cfg.oversampling()
 	var sample []K
 	switch {
@@ -149,7 +149,7 @@ func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, err
 
 	// 3. Data exchange: partition the sorted run by the splitters and
 	// exchange in a single ALLTOALLV.
-	rec.Enter(trace.Other)
+	rec.Enter(metrics.Other)
 	sendCounts := make([]int, p)
 	if len(splitters) == 0 {
 		// Globally empty sample (all ranks empty): nothing moves.
@@ -169,11 +169,11 @@ func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, err
 	if model != nil {
 		c.Clock().Advance(model.SearchCost(len(sorted), p-1))
 	}
-	rec.Enter(trace.Exchange)
+	rec.Enter(metrics.Exchange)
 	recv, recvCounts := comm.Alltoallv(c, sorted, sendCounts, scale)
 
 	// Merge the received runs (binary merge tree).
-	rec.Enter(trace.Merge)
+	rec.Enter(metrics.Merge)
 	runs := make([][]K, 0, p)
 	off := 0
 	for _, n := range recvCounts {

@@ -17,10 +17,10 @@ type CostModel struct {
 	PGAS bool
 
 	// Alpha is the per-message latency per link class.
-	Alpha [numLinkClasses]time.Duration
+	Alpha [NumLinkClasses]time.Duration
 	// GBps is the per-flow bandwidth per link class, in bytes/ns
 	// (i.e. GB/s ≈ value × 1e9 bytes/s when expressed per nanosecond).
-	GBps [numLinkClasses]float64
+	GBps [NumLinkClasses]float64
 
 	// CompareNs is the cost of one compare-and-move step of a local sort;
 	// sorting n keys is priced CompareNs · n · log2(n).

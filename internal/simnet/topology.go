@@ -27,8 +27,12 @@ const (
 	CrossNUMA
 	// Network connects ranks on different nodes.
 	Network
-	numLinkClasses
+	// NumLinkClasses is the number of link classes.
+	NumLinkClasses
 )
+
+// LinkClasses lists every link class, in enum order.
+var LinkClasses = [NumLinkClasses]LinkClass{SelfLink, SameNUMA, CrossNUMA, Network}
 
 // String returns the link class name.
 func (lc LinkClass) String() string {
