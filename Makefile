@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race bench-smoke bench-json bench-compare
+.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange
 
 ci:
 	./ci.sh
@@ -9,7 +9,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/comm ./internal/psort ./internal/core
+	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/core
 
 # Tiny deterministic grid for CI; artifact uploaded by the workflow.
 bench-smoke:
@@ -23,3 +23,8 @@ bench-json:
 #   make bench-compare OLD=BENCH_full.json
 bench-compare:
 	go run ./cmd/bench -compare $(OLD) -json BENCH_new.json
+
+# Exchange-backend ablation: two-sided ALLTOALLV vs fused overlap vs
+# one-sided RMA put, under PGAS and pure-MPI intra-node pricing.
+bench-exchange:
+	go run ./cmd/bench -exp exchange

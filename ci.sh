@@ -9,9 +9,10 @@
 # failure, or data race in the race-sensitive packages.
 set -eu
 
-# Race-sensitive packages: the message-passing substrate, the shared-memory
-# parallel sort, and the core algorithm that drives both.
-RACE_PKGS="./internal/comm ./internal/psort ./internal/core"
+# Race-sensitive packages: the message-passing substrate, the one-sided RMA
+# windows (cross-goroutine direct memory writes), the shared-memory parallel
+# sort, and the core algorithm that drives them.
+RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/core"
 
 echo "== gofmt"
 fmt_out=$(gofmt -l .)

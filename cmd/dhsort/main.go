@@ -35,6 +35,7 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "workload seed")
 		eps   = flag.Float64("eps", 0, "load-balance threshold (0 = perfect partitioning)")
 		merge = flag.String("merge", "resort", "local merge: resort|binary-tree|loser-tree|overlap")
+		exch  = flag.String("exchange", "auto", "data exchange: auto|pairwise|one-factor|bruck|hierarchical|rma-put")
 		alg   = flag.String("alg", "dhsort", "algorithm: dhsort|hss|samplesort|hyksort|bitonic")
 		model = flag.String("model", "none", "cost model: none (real time) | pgas | mpi")
 		rpn   = flag.Int("ranks-per-node", 16, "ranks per node for the cost model")
@@ -67,6 +68,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dhsort: unknown merge strategy %q\n", *merge)
 		os.Exit(2)
 	}
+	var ex dhsort.ExchangeAlgorithm
+	switch *exch {
+	case "auto":
+		ex = dhsort.ExchangeAuto
+	case "pairwise":
+		ex = dhsort.ExchangePairwise
+	case "one-factor":
+		ex = dhsort.ExchangeOneFactor
+	case "bruck":
+		ex = dhsort.ExchangeBruck
+	case "hierarchical":
+		ex = dhsort.ExchangeHierarchical
+	case "rma-put":
+		ex = dhsort.ExchangeRMAPut
+	default:
+		fmt.Fprintf(os.Stderr, "dhsort: unknown exchange algorithm %q\n", *exch)
+		os.Exit(2)
+	}
 
 	w, err := comm.NewWorld(*p, m)
 	if err != nil {
@@ -88,11 +107,11 @@ func main() {
 		switch *alg {
 		case "dhsort":
 			out, err = dhsort.Sort(c, local, dhsort.Uint64Ops, dhsort.Config{
-				Epsilon: *eps, Merge: ms, VirtualScale: *scale, Recorder: rec,
+				Epsilon: *eps, Merge: ms, Exchange: ex, VirtualScale: *scale, Recorder: rec,
 			})
 		case "hss":
 			out, err = hss.Sort(c, local, keys.Uint64{}, hss.Config{
-				Epsilon: *eps, VirtualScale: *scale, Recorder: rec, Seed: *seed,
+				Epsilon: *eps, Exchange: ex, VirtualScale: *scale, Recorder: rec, Seed: *seed,
 			})
 		case "samplesort":
 			out, err = samplesort.Sort(c, local, keys.Uint64{}, samplesort.Config{
@@ -130,6 +149,9 @@ func main() {
 	elapsed := time.Since(wall)
 	s := metrics.Summarize(recs)
 	fmt.Printf("sorted %d %s keys on %d ranks (alg=%s, eps=%v, merge=%s)\n", *n, *dist, *p, *alg, *eps, *merge)
+	if s.ExchangeAlg != "" {
+		fmt.Printf("data exchange: %s (effective)\n", s.ExchangeAlg)
+	}
 	if m != nil {
 		fmt.Printf("virtual makespan: %v (SuperMUC model, %d ranks/node, scale x%g; wall %v)\n",
 			w.Makespan().Round(time.Microsecond), *rpn, *scale, elapsed.Round(time.Millisecond))
@@ -152,10 +174,21 @@ func main() {
 	fmt.Printf("communication by link class (%d messages, %.2f MiB total):\n",
 		st.TotalMessages(), float64(st.TotalBytes())/(1<<20))
 	for _, lc := range simnet.LinkClasses {
-		if st.Messages[lc] == 0 {
+		if st.Messages[lc] == 0 && st.Puts[lc] == 0 {
 			continue
 		}
 		fmt.Printf("  %-10s %8d msgs  %8.2f MiB\n", lc, st.Messages[lc], float64(st.Bytes[lc])/(1<<20))
+	}
+	if st.TotalPuts() > 0 {
+		fmt.Printf("one-sided traffic (%d puts, %.2f MiB, %d notifies):\n",
+			st.TotalPuts(), float64(st.TotalPutBytes())/(1<<20), st.TotalNotifies())
+		for _, lc := range simnet.LinkClasses {
+			if st.Puts[lc] == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %8d puts  %8.2f MiB  %8d notifies\n",
+				lc, st.Puts[lc], float64(st.PutBytes[lc])/(1<<20), st.Notifies[lc])
+		}
 	}
 	if verified {
 		fmt.Println("verification: globally sorted, partition sizes OK")

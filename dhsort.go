@@ -69,6 +69,26 @@ const (
 // execution; nil means real time.
 type CostModel = simnet.CostModel
 
+// ExchangeAlgorithm selects the data-exchange backend (Config.Exchange).
+type ExchangeAlgorithm = comm.AlltoallAlgorithm
+
+// The available exchange backends (§VI-E1 of the paper).
+const (
+	// ExchangeAuto picks an ALLTOALLV schedule by priced message size.
+	ExchangeAuto = comm.AlltoallAuto
+	// ExchangePairwise is the linear shifted ALLTOALLV exchange.
+	ExchangePairwise = comm.AlltoallPairwise
+	// ExchangeOneFactor schedules the ALLTOALLV as perfect matchings.
+	ExchangeOneFactor = comm.AlltoallOneFactor
+	// ExchangeBruck is the store-and-forward ALLTOALLV algorithm.
+	ExchangeBruck = comm.AlltoallBruck
+	// ExchangeHierarchical aggregates through node leaders.
+	ExchangeHierarchical = comm.AlltoallHierarchical
+	// ExchangeRMAPut is the one-sided put+notify exchange over rma
+	// windows, fused with merging (the paper's DASH/DART substrate).
+	ExchangeRMAPut = comm.ExchangeRMAPut
+)
+
 // Recorder captures per-rank phase timings (see Config.Recorder).
 type Recorder = metrics.Recorder
 

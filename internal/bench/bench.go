@@ -72,6 +72,7 @@ var Experiments = []Experiment{
 	{"pgas", "ablation — PGAS shared-memory windows vs pure MPI intra-node", PGAS},
 	{"baselines", "ablation — all five sorters on one configuration", Baselines},
 	{"overlap", "ablation — exchange/merge strategies incl. fused overlap (§VI-E1)", Overlap},
+	{"exchange", "ablation — two-sided ALLTOALLV vs fused overlap vs one-sided RMA put", ExchangeStudy},
 	{"collectives", "micro — modelled collective latencies vs rank count", Collectives},
 	{"splitters", "ablation — splitter strategies: histogram vs sampled vs selection", Splitters},
 }
@@ -95,6 +96,22 @@ type sorter struct {
 func dhsortSorter() sorter {
 	return sorter{"dhsort", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
 		return core.Sort(c, local, keys.Uint64{}, core.Config{VirtualScale: scale, Recorder: rec})
+	}}
+}
+
+// dhsortFusedSorter selects the fused exchange+merge: two-sided 1-factor
+// sendrecv rounds with merging overlapped behind later transfers (§VI-E1).
+func dhsortFusedSorter() sorter {
+	return sorter{"dhsort-fused", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
+		return core.Sort(c, local, keys.Uint64{}, core.Config{Merge: core.MergeOverlap, VirtualScale: scale, Recorder: rec})
+	}}
+}
+
+// dhsortRMASorter selects the one-sided put+notify exchange over rma
+// windows (the paper's DART/DASH substrate).
+func dhsortRMASorter() sorter {
+	return sorter{"dhsort-rma", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
+		return core.Sort(c, local, keys.Uint64{}, core.Config{Exchange: comm.ExchangeRMAPut, VirtualScale: scale, Recorder: rec})
 	}}
 }
 

@@ -77,7 +77,10 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 			Seed:         o.Seed,
 		},
 	}
-	sorters := []sorter{dhsortSorter(), hssSorter(), samplesortSorter(), hyksortSorter(), bitonicSorter()}
+	sorters := []sorter{
+		dhsortSorter(), dhsortFusedSorter(), dhsortRMASorter(),
+		hssSorter(), samplesortSorter(), hyksortSorter(), bitonicSorter(),
+	}
 	for _, s := range sorters {
 		for _, p := range grid.ps {
 			for _, dist := range grid.workloads {

@@ -16,7 +16,14 @@ func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]bool{"dhsort": false, "hss": false, "samplesort": false, "hyksort": false, "bitonic": false}
+	want := map[string]bool{
+		"dhsort": false, "dhsort-fused": false, "dhsort-rma": false,
+		"hss": false, "samplesort": false, "hyksort": false, "bitonic": false,
+	}
+	byAlg := make(map[string]metrics.Record)
+	for _, r := range doc.Records {
+		byAlg[r.Algorithm] = r
+	}
 	for _, r := range doc.Records {
 		if _, ok := want[r.Algorithm]; !ok {
 			t.Errorf("unexpected algorithm %q", r.Algorithm)
@@ -51,8 +58,10 @@ func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
 		if r.Imbalance.Time < 1 {
 			t.Errorf("%s: time imbalance %v < 1", r.Key(), r.Imbalance.Time)
 		}
-		// dhsort and hss guarantee perfect partitioning on this workload.
-		if (r.Algorithm == "dhsort" || r.Algorithm == "hss") && r.Imbalance.Output != 1 {
+		// dhsort variants and hss guarantee perfect partitioning here.
+		perfect := r.Algorithm == "dhsort" || r.Algorithm == "dhsort-fused" ||
+			r.Algorithm == "dhsort-rma" || r.Algorithm == "hss"
+		if perfect && r.Imbalance.Output != 1 {
 			t.Errorf("%s: output imbalance %v, want 1.0 (perfect partitioning)", r.Key(), r.Imbalance.Output)
 		}
 		if r.Algorithm == "dhsort" && r.Iterations == 0 {
@@ -63,6 +72,31 @@ func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
 		if !seen {
 			t.Errorf("algorithm %s missing from suite", alg)
 		}
+	}
+
+	// The exchange-backend contract on the smoke grid (one node, PGAS
+	// pricing): records name the exchange that actually ran, the one-sided
+	// record carries put/notify traffic, and the RMA-put exchange's
+	// virtual makespan does not exceed the two-sided ALLTOALLV dhsort's.
+	if r, ok := byAlg["dhsort-rma"]; ok {
+		if r.Exchange != "rma-put" {
+			t.Errorf("dhsort-rma records exchange %q, want rma-put", r.Exchange)
+		}
+		var puts, notifies int64
+		for _, l := range r.Totals.Links {
+			puts += l.Puts
+			notifies += l.Notifies
+		}
+		if puts == 0 || notifies == 0 {
+			t.Errorf("dhsort-rma recorded %d puts, %d notifies; want both > 0", puts, notifies)
+		}
+		if base, ok := byAlg["dhsort"]; ok && r.Makespan.MeanNS > base.Makespan.MeanNS {
+			t.Errorf("rma-put makespan %dns exceeds two-sided dhsort %dns on the intra-node smoke grid",
+				r.Makespan.MeanNS, base.Makespan.MeanNS)
+		}
+	}
+	if r, ok := byAlg["dhsort-fused"]; ok && r.Exchange != "fused-1factor" {
+		t.Errorf("dhsort-fused records exchange %q, want fused-1factor", r.Exchange)
 	}
 
 	// The emitted document must round-trip and self-compare clean.

@@ -33,6 +33,14 @@ const (
 	// (AlltoallvHier documents the scheme).  Falls back to the 1-factor
 	// schedule without a model.
 	AlltoallHierarchical
+	// ExchangeRMAPut selects the one-sided data exchange: every rank puts
+	// its partitions directly into symmetric rma windows at
+	// exscan-computed target offsets and the receiver consumes
+	// notifications (the paper's DASH/DART put+notify substrate).  Only
+	// core.ExchangeAndMerge implements the put path, fused with its
+	// notify-driven merge; at the plain block-collective level (Alltoall,
+	// ExecutePlan) it degrades to the 1-factor schedule.
+	ExchangeRMAPut
 )
 
 // String returns the algorithm name.
@@ -48,6 +56,8 @@ func (a AlltoallAlgorithm) String() string {
 		return "bruck"
 	case AlltoallHierarchical:
 		return "hierarchical"
+	case ExchangeRMAPut:
+		return "rma-put"
 	}
 	return fmt.Sprintf("AlltoallAlgorithm(%d)", int(a))
 }
@@ -67,9 +77,11 @@ func AlltoallWith[T any](c *Comm, blocks [][]T, alg AlltoallAlgorithm, byteScale
 	switch alg {
 	case AlltoallPairwise:
 		return AlltoallScaled(c, blocks, byteScale)
-	case AlltoallOneFactor, AlltoallHierarchical:
+	case AlltoallOneFactor, AlltoallHierarchical, ExchangeRMAPut:
 		// The hierarchical schedule needs a flat buffer and topology
-		// (AlltoallvHier); at the block level it degrades to 1-factor.
+		// (AlltoallvHier), and the put path needs the fused merge of
+		// core.ExchangeAndMerge; at the block level both degrade to
+		// 1-factor.
 		return alltoallOneFactor(c, blocks, byteScale)
 	case AlltoallBruck:
 		return alltoallBruck(c, blocks, byteScale)
@@ -254,9 +266,7 @@ func AlltoallvWith[T any](c *Comm, data []T, sendCounts []int, alg AlltoallAlgor
 
 // SendrecvScaled is Sendrecv with bulk-data byte pricing.
 func SendrecvScaled[T any](c *Comm, partner, tag int, send []T, byteScale float64) []T {
-	if tag < 0 {
-		panic("comm: user tags must be non-negative")
-	}
+	checkUserTag(tag)
 	sendSlice(c, partner, tag, send, byteScale)
 	return recvSlice[T](c, partner, tag)
 }

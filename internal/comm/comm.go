@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"dhsort/internal/simnet"
 )
@@ -19,8 +20,9 @@ type Comm struct {
 	clock *simnet.Clock
 	stats *Stats
 
-	seq    uint64 // per-rank collective sequence number (tag isolation)
-	splits uint64 // number of Split calls issued on this comm
+	seq       uint64 // per-rank collective sequence number (tag isolation)
+	splits    uint64 // number of Split calls issued on this comm
+	protoTags uint64 // protocol tags handed out by ReserveProtocolTag
 }
 
 // newWorldComm builds rank's handle on the world communicator (id 1).
@@ -93,6 +95,49 @@ func (c *Comm) recv(src, tag int) envelope {
 	e := c.w.boxes[c.group[c.rank]].get(c.id, src, tag)
 	c.clock.Arrive(e.arrival)
 	return e
+}
+
+// protocolTagBase is the first tag handed out by ReserveProtocolTag.  It
+// sits well above the fused-exchange rounds [UserTagLimit, UserTagLimit+P),
+// so the two reserved protocols can never collide.
+const protocolTagBase = UserTagLimit + 1<<20
+
+// ReserveProtocolTag returns a fresh tag from the library-reserved space
+// (>= UserTagLimit, see mailbox.go).  Like nextSeq it relies on
+// collective discipline: every rank of the communicator must call it the
+// same number of times in the same order (e.g. once per rma window
+// creation), so all ranks agree on the tag without communication.
+func (c *Comm) ReserveProtocolTag() int {
+	c.protoTags++
+	return protocolTagBase + int(c.protoTags) - 1
+}
+
+// PostRaw delivers payload to dst under a protocol tag with an explicit
+// virtual arrival time, bypassing the two-sided send pricing (no clock
+// advance, no message stats).  One-sided layers (internal/rma) price their
+// own traffic against the cost model and use PostRaw for notification
+// delivery; the mailbox mutex still provides the happens-before edge that
+// makes preceding direct memory writes visible to the receiver.
+func (c *Comm) PostRaw(dst, tag int, payload any, arrival time.Duration) {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("comm: PostRaw to rank %d outside communicator of size %d", dst, len(c.group)))
+	}
+	if tag < UserTagLimit {
+		panic(fmt.Sprintf("comm: PostRaw tag %d is below the reserved space [%d, ∞)", tag, UserTagLimit))
+	}
+	e := envelope{comm: c.id, src: c.rank, tag: tag, arrival: arrival, payload: payload}
+	c.w.boxes[c.group[dst]].put(e)
+}
+
+// RecvRaw blocks for a PostRaw message from src (or AnySource) under a
+// protocol tag, synchronizes the clock with its arrival, and returns the
+// payload together with the sender's rank.
+func (c *Comm) RecvRaw(src, tag int) (any, int) {
+	if tag < UserTagLimit {
+		panic(fmt.Sprintf("comm: RecvRaw tag %d is below the reserved space [%d, ∞)", tag, UserTagLimit))
+	}
+	e := c.recv(src, tag)
+	return e.payload, e.src
 }
 
 // nextSeq reserves a tag block for one collective operation.  All ranks of

@@ -1,5 +1,7 @@
 package comm
 
+import "fmt"
+
 // Additional collective and point-to-point conveniences used by the
 // baseline algorithms and application code.
 
@@ -8,10 +10,20 @@ package comm
 // returned.  Both sides must call it with matching tags.  Safe against
 // deadlock because sends are eager.
 func Sendrecv[T any](c *Comm, partner, tag int, send []T) []T {
-	if tag < 0 {
-		panic("comm: user tags must be non-negative")
-	}
+	checkUserTag(tag)
 	sendSlice(c, partner, tag, send, 1)
+	return recvSlice[T](c, partner, tag)
+}
+
+// SendrecvProtocol is Sendrecv with bulk-data byte pricing for
+// library-internal protocols: tag must lie in the reserved space at or
+// above UserTagLimit (the inverse of the user-tag check), so protocol
+// traffic can never be intercepted by an application Recv.
+func SendrecvProtocol[T any](c *Comm, partner, tag int, send []T, byteScale float64) []T {
+	if tag < UserTagLimit {
+		panic(fmt.Sprintf("comm: protocol tag %d is below the reserved space [%d, ∞)", tag, UserTagLimit))
+	}
+	sendSlice(c, partner, tag, send, byteScale)
 	return recvSlice[T](c, partner, tag)
 }
 

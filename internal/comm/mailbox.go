@@ -9,6 +9,16 @@ import (
 // (MPI_ANY_SOURCE).
 const AnySource = -1
 
+// UserTagLimit bounds the application tag space: user point-to-point tags
+// must lie in [0, UserTagLimit).  Tags at or above the limit are reserved
+// for library-internal protocols — the fused exchange of
+// core.ExchangeAndMerge uses [UserTagLimit, UserTagLimit+P) for its
+// 1-factor rounds, and rma windows draw notification tags from
+// Comm.ReserveProtocolTag — so a colliding user tag would silently corrupt
+// those protocols.  The Send/Recv family panics on reserved tags instead.
+// (Collectives use a disjoint negative tag space and cannot collide.)
+const UserTagLimit = 1 << 30
+
 // envelope is one in-flight message.
 type envelope struct {
 	comm    uint64        // communicator identity

@@ -17,11 +17,31 @@ import "dhsort/internal/simnet"
 type Stats struct {
 	Messages [simnet.NumLinkClasses]int64 // per simnet.LinkClass
 	Bytes    [simnet.NumLinkClasses]int64
+
+	// One-sided traffic (internal/rma), accounted separately from the
+	// two-sided message counters so ablations can attribute volume to the
+	// transport that carried it.
+	Puts     [simnet.NumLinkClasses]int64
+	PutBytes [simnet.NumLinkClasses]int64
+	Notifies [simnet.NumLinkClasses]int64
 }
 
 func (s *Stats) record(lc simnet.LinkClass, bytes int) {
 	s.Messages[lc]++
 	s.Bytes[lc] += int64(bytes)
+}
+
+// RecordPut accounts one one-sided put of the given priced volume on the
+// link class.  Called by internal/rma from the origin rank's goroutine (same
+// confinement rules as record).
+func (s *Stats) RecordPut(lc simnet.LinkClass, bytes int) {
+	s.Puts[lc]++
+	s.PutBytes[lc] += int64(bytes)
+}
+
+// RecordNotify accounts one put-notification on the link class.
+func (s *Stats) RecordNotify(lc simnet.LinkClass) {
+	s.Notifies[lc]++
 }
 
 // Add accumulates o into s.  The caller must own both values (the World
@@ -30,6 +50,9 @@ func (s *Stats) Add(o *Stats) {
 	for i := range s.Messages {
 		s.Messages[i] += o.Messages[i]
 		s.Bytes[i] += o.Bytes[i]
+		s.Puts[i] += o.Puts[i]
+		s.PutBytes[i] += o.PutBytes[i]
+		s.Notifies[i] += o.Notifies[i]
 	}
 }
 
@@ -39,6 +62,9 @@ func (s Stats) Sub(o Stats) Stats {
 	for i := range s.Messages {
 		d.Messages[i] = s.Messages[i] - o.Messages[i]
 		d.Bytes[i] = s.Bytes[i] - o.Bytes[i]
+		d.Puts[i] = s.Puts[i] - o.Puts[i]
+		d.PutBytes[i] = s.PutBytes[i] - o.PutBytes[i]
+		d.Notifies[i] = s.Notifies[i] - o.Notifies[i]
 	}
 	return d
 }
@@ -63,3 +89,30 @@ func (s *Stats) TotalBytes() int64 {
 
 // NetworkBytes returns the volume that crossed node boundaries.
 func (s *Stats) NetworkBytes() int64 { return s.Bytes[simnet.Network] }
+
+// TotalPuts returns the one-sided put count across all link classes.
+func (s *Stats) TotalPuts() int64 {
+	var t int64
+	for _, v := range s.Puts {
+		t += v
+	}
+	return t
+}
+
+// TotalPutBytes returns the one-sided put volume across all link classes.
+func (s *Stats) TotalPutBytes() int64 {
+	var t int64
+	for _, v := range s.PutBytes {
+		t += v
+	}
+	return t
+}
+
+// TotalNotifies returns the put-notification count across all link classes.
+func (s *Stats) TotalNotifies() int64 {
+	var t int64
+	for _, v := range s.Notifies {
+		t += v
+	}
+	return t
+}

@@ -1,6 +1,9 @@
 package comm
 
-import "reflect"
+import (
+	"fmt"
+	"reflect"
+)
 
 // elemBytes returns the in-memory size of one element of type T, used for
 // communication-volume accounting.
@@ -9,8 +12,22 @@ func elemBytes[T any]() int {
 	return int(reflect.TypeOf(&z).Elem().Size())
 }
 
-// Send delivers a copy of data to dst under the given tag (tag >= 0).
-// Sends are eager: they buffer at the receiver and never block.
+// checkUserTag validates an application-supplied tag: non-negative and
+// below the library-reserved space (see UserTagLimit).
+func checkUserTag(tag int) {
+	if tag < 0 {
+		panic("comm: user tags must be non-negative")
+	}
+	if tag >= UserTagLimit {
+		panic(fmt.Sprintf("comm: tag %d is in the library-reserved space [%d, ∞): "+
+			"user tags must be below comm.UserTagLimit (the fused exchange and rma "+
+			"notification protocols own the tags above it)", tag, UserTagLimit))
+	}
+}
+
+// Send delivers a copy of data to dst under the given tag (tag in
+// [0, UserTagLimit)).  Sends are eager: they buffer at the receiver and
+// never block.
 func Send[T any](c *Comm, dst, tag int, data []T) {
 	SendScaled(c, dst, tag, data, 1)
 }
@@ -19,44 +36,34 @@ func Send[T any](c *Comm, dst, tag int, data []T) {
 // size in the network cost model — used when experiments execute on reduced
 // data that stands in for a paper-scale volume (Config.VirtualScale).
 func SendScaled[T any](c *Comm, dst, tag int, data []T, byteScale float64) {
-	if tag < 0 {
-		panic("comm: user tags must be non-negative")
-	}
+	checkUserTag(tag)
 	sendSlice(c, dst, tag, data, byteScale)
 }
 
 // Recv blocks for a message from src (or AnySource) under tag and returns
 // its payload.  The returned slice is owned by the caller.
 func Recv[T any](c *Comm, src, tag int) []T {
-	if tag < 0 {
-		panic("comm: user tags must be non-negative")
-	}
+	checkUserTag(tag)
 	return c.recv(src, tag).payload.([]T)
 }
 
 // RecvAny blocks for a message from any source under tag and returns the
 // payload together with the sender's rank.
 func RecvAny[T any](c *Comm, tag int) ([]T, int) {
-	if tag < 0 {
-		panic("comm: user tags must be non-negative")
-	}
+	checkUserTag(tag)
 	e := c.recv(AnySource, tag)
 	return e.payload.([]T), e.src
 }
 
 // SendOne delivers a single value to dst under tag.
 func SendOne[T any](c *Comm, dst, tag int, v T) {
-	if tag < 0 {
-		panic("comm: user tags must be non-negative")
-	}
+	checkUserTag(tag)
 	c.send(dst, tag, v, elemBytes[T](), 1)
 }
 
 // RecvOne blocks for a single value from src (or AnySource) under tag.
 func RecvOne[T any](c *Comm, src, tag int) T {
-	if tag < 0 {
-		panic("comm: user tags must be non-negative")
-	}
+	checkUserTag(tag)
 	return c.recv(src, tag).payload.(T)
 }
 

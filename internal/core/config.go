@@ -73,10 +73,13 @@ type Config struct {
 	// Merge selects the Local Merge strategy.
 	Merge MergeStrategy
 
-	// Exchange selects the ALLTOALLV schedule for the data exchange
-	// (§VI-E1); the zero value picks automatically by priced message
-	// size (store-and-forward for small blocks, 1-factor otherwise).
-	// Ignored by MergeOverlap, which brings its own 1-factor schedule.
+	// Exchange selects the data-exchange backend (§VI-E1): an ALLTOALLV
+	// schedule (the zero value picks automatically by priced message size —
+	// store-and-forward for small blocks, 1-factor otherwise), or
+	// comm.ExchangeRMAPut for the one-sided put+notify exchange, which is
+	// inherently fused with merging and takes precedence over Merge.
+	// The ALLTOALLV schedules are ignored by MergeOverlap, which brings
+	// its own 1-factor schedule.
 	Exchange comm.AlltoallAlgorithm
 
 	// ForceUnique applies the (key, rank, index) uniqueness
@@ -133,7 +136,7 @@ func (cfg Config) validate() error {
 	if cfg.Merge < MergeResort || cfg.Merge > MergeOverlap {
 		return fmt.Errorf("core: unknown merge strategy %d", int(cfg.Merge))
 	}
-	if cfg.Exchange < comm.AlltoallAuto || cfg.Exchange > comm.AlltoallHierarchical {
+	if cfg.Exchange < comm.AlltoallAuto || cfg.Exchange > comm.ExchangeRMAPut {
 		return fmt.Errorf("core: unknown exchange algorithm %d", int(cfg.Exchange))
 	}
 	return nil

@@ -121,7 +121,14 @@ func ExchangeAndMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []i
 	}
 	cfg.Recorder.AddExchangedBytes(int64(float64(outBytes) * scale))
 
+	// The one-sided path subsumes MergeOverlap: its notify-driven merge is
+	// inherently fused, so it takes precedence over the merge strategy.
+	if cfg.Exchange == comm.ExchangeRMAPut {
+		cfg.Recorder.SetExchangeAlg(comm.ExchangeRMAPut.String())
+		return rmaPutExchangeMerge(c, sorted, ops, sendCounts, cfg)
+	}
 	if cfg.Merge == MergeOverlap {
+		cfg.Recorder.SetExchangeAlg("fused-1factor")
 		return overlapExchangeMerge(c, sorted, ops, sendCounts, cfg)
 	}
 	var recv []K
@@ -132,11 +139,18 @@ func ExchangeAndMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []i
 			rpn = model.Topo.RanksPerNode
 		}
 		if rpn > 1 {
+			cfg.Recorder.SetExchangeAlg(comm.AlltoallHierarchical.String())
 			recv, recvCounts = comm.AlltoallvHier(c, sorted, sendCounts, rpn, scale)
 		} else {
+			// Hierarchical aggregation needs node topology; without it the
+			// exchange runs the 1-factor schedule.  Record the algorithm
+			// that actually ran, not the requested one, so the metrics
+			// document never claims an aggregation that did not happen.
+			cfg.Recorder.SetExchangeAlg(comm.AlltoallOneFactor.String())
 			recv, recvCounts = comm.AlltoallvWith(c, sorted, sendCounts, comm.AlltoallOneFactor, scale)
 		}
 	} else {
+		cfg.Recorder.SetExchangeAlg(cfg.Exchange.String())
 		recv, recvCounts = comm.AlltoallvWith(c, sorted, sendCounts, cfg.Exchange, scale)
 	}
 
@@ -177,7 +191,6 @@ func ExchangeAndMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []i
 // local clock, so a chunk whose arrival precedes the clock costs no wait.
 func overlapExchangeMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], sendCounts []int, cfg Config) []K {
 	p := c.Size()
-	model := c.Model()
 	scale := cfg.scale()
 
 	// Segment offsets into the locally sorted run.
@@ -185,31 +198,10 @@ func overlapExchangeMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], send
 	for d := 0; d < p; d++ {
 		offsets[d+1] = offsets[d] + sendCounts[d]
 	}
-	// Runs are buffered on a size-balanced stack (merge two runs whenever
-	// the top is at least half the size of the one below): every element
-	// is merged O(log P) times in total, yet merging still happens
-	// between rounds so it overlaps in-flight transfers.
-	var stack [][]K
-	push := func(run []K) {
-		if len(run) == 0 {
-			return
-		}
-		stack = append(stack, run)
-		for len(stack) >= 2 && len(stack[len(stack)-1])*2 >= len(stack[len(stack)-2]) {
-			a, b := stack[len(stack)-2], stack[len(stack)-1]
-			stack = stack[:len(stack)-2]
-			cfg.Recorder.Enter(metrics.Merge)
-			merged := sortutil.Merge(a, b, ops.Less)
-			if model != nil {
-				c.Clock().Advance(model.MergeCost(int(float64(len(merged))*scale), 2))
-			}
-			cfg.Recorder.Enter(metrics.Exchange)
-			stack = append(stack, merged)
-		}
-	}
+	stack := newRunStack(c, ops, cfg)
 	self := make([]K, sendCounts[c.Rank()])
 	copy(self, sorted[offsets[c.Rank()]:offsets[c.Rank()+1]])
-	push(self)
+	stack.push(self)
 
 	rounds := comm.OneFactorRounds(p)
 	for r := 0; r < rounds; r++ {
@@ -217,17 +209,14 @@ func overlapExchangeMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], send
 		if partner < 0 {
 			continue
 		}
-		push(comm.SendrecvScaled(c, partner, overlapTag+r, sorted[offsets[partner]:offsets[partner+1]], scale))
+		stack.push(comm.SendrecvProtocol(c, partner, overlapTag+r, sorted[offsets[partner]:offsets[partner+1]], scale))
 	}
-	cfg.Recorder.Enter(metrics.Merge)
-	acc := sortutil.MergeKLoser(stack, ops.Less)
-	if model != nil && len(stack) > 1 {
-		c.Clock().Advance(model.MergeCost(int(float64(len(acc))*scale), len(stack)))
-	}
-	return acc
+	return stack.finish()
 }
 
-// overlapTag is the user-tag base reserved for the fused exchange rounds;
-// application point-to-point traffic concurrent with Sort must avoid
-// [overlapTag, overlapTag+P).
-const overlapTag = 1 << 30
+// overlapTag is the tag base of the fused exchange rounds, drawn from the
+// library-reserved space [comm.UserTagLimit, ∞): the rounds occupy
+// [overlapTag, overlapTag+P), application tags cannot reach it (the
+// Send/Recv family panics above comm.UserTagLimit — see checkUserTag), and
+// SendrecvProtocol enforces the inverse bound here.
+const overlapTag = comm.UserTagLimit

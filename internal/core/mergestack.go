@@ -1,0 +1,60 @@
+package core
+
+import (
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
+	"dhsort/internal/sortutil"
+)
+
+// runStack buffers sorted runs on a size-balanced stack for the fused
+// exchange+merge paths: two runs are merged whenever the top is at least
+// half the size of the one below, so every element is merged O(log P) times
+// in total, yet merging still happens between communication rounds and
+// overlaps in-flight transfers.  Merge time is charged to the Merge phase
+// and advances the virtual clock, which is what models the overlap: a chunk
+// whose arrival precedes the clock costs no wait.
+type runStack[K any] struct {
+	c     *comm.Comm
+	ops   keys.Ops[K]
+	cfg   Config
+	stack [][]K
+}
+
+func newRunStack[K any](c *comm.Comm, ops keys.Ops[K], cfg Config) *runStack[K] {
+	return &runStack[K]{c: c, ops: ops, cfg: cfg}
+}
+
+// push adds one sorted run and collapses the stack while it is unbalanced.
+// The run must stay valid until finish (it is not copied).
+func (s *runStack[K]) push(run []K) {
+	if len(run) == 0 {
+		return
+	}
+	model := s.c.Model()
+	scale := s.cfg.scale()
+	s.stack = append(s.stack, run)
+	for len(s.stack) >= 2 && len(s.stack[len(s.stack)-1])*2 >= len(s.stack[len(s.stack)-2]) {
+		a, b := s.stack[len(s.stack)-2], s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-2]
+		s.cfg.Recorder.Enter(metrics.Merge)
+		merged := sortutil.Merge(a, b, s.ops.Less)
+		if model != nil {
+			s.c.Clock().Advance(model.MergeCost(int(float64(len(merged))*scale), 2))
+		}
+		s.cfg.Recorder.Enter(metrics.Exchange)
+		s.stack = append(s.stack, merged)
+	}
+}
+
+// finish merges the remaining runs through a tournament tree and returns
+// the fully merged result.
+func (s *runStack[K]) finish() []K {
+	s.cfg.Recorder.Enter(metrics.Merge)
+	acc := sortutil.MergeKLoser(s.stack, s.ops.Less)
+	if model := s.c.Model(); model != nil && len(s.stack) > 1 {
+		s.c.Clock().Advance(model.MergeCost(int(float64(len(acc))*s.cfg.scale()), len(s.stack)))
+	}
+	s.stack = nil
+	return acc
+}

@@ -42,6 +42,10 @@ type Config struct {
 	// ForceUnique applies the duplicate-key transformation (see
 	// core.Config.ForceUnique); off by default.
 	ForceUnique bool
+	// Exchange selects the data-exchange backend (see core.Config.Exchange):
+	// an ALLTOALLV schedule or comm.ExchangeRMAPut for the one-sided
+	// put+notify exchange.
+	Exchange comm.AlltoallAlgorithm
 	// VirtualScale prices bulk data at a multiple of its real size.
 	VirtualScale float64
 	// Recorder receives phase timings and iteration counts.
@@ -65,6 +69,7 @@ func (cfg Config) maxIters() int {
 func (cfg Config) coreCfg() core.Config {
 	return core.Config{
 		Epsilon:      cfg.Epsilon,
+		Exchange:     cfg.Exchange,
 		VirtualScale: cfg.VirtualScale,
 		Recorder:     cfg.Recorder,
 	}

@@ -127,6 +127,14 @@ func compareRecords(o, n Record, threshold float64) []Delta {
 	track("totals.bytes", sumBytes(o.Totals.Links), sumBytes(n.Totals.Links), bytesFloor)
 	track("totals.network_bytes",
 		o.Totals.Links["network"].Bytes, n.Totals.Links["network"].Bytes, bytesFloor)
+	// The one-sided counters are optional schema fields: gate them only
+	// when the old document already has put traffic, so a baseline written
+	// before the fields existed (or before a record used the one-sided
+	// exchange) cannot produce a spurious zero-to-nonzero "regression".
+	if sumPuts(o.Totals.Links) > 0 {
+		track("totals.puts", sumPuts(o.Totals.Links), sumPuts(n.Totals.Links), messagesFloor)
+		track("totals.put_bytes", sumPutBytes(o.Totals.Links), sumPutBytes(n.Totals.Links), bytesFloor)
+	}
 	return out
 }
 
@@ -151,6 +159,22 @@ func sumBytes(links map[string]LinkStat) int64 {
 	var t int64
 	for _, l := range links {
 		t += l.Bytes
+	}
+	return t
+}
+
+func sumPuts(links map[string]LinkStat) int64 {
+	var t int64
+	for _, l := range links {
+		t += l.Puts
+	}
+	return t
+}
+
+func sumPutBytes(links map[string]LinkStat) int64 {
+	var t int64
+	for _, l := range links {
+		t += l.PutBytes
 	}
 	return t
 }

@@ -95,6 +95,45 @@ func TestCompareFlagsVolumeRegression(t *testing.T) {
 	}
 }
 
+// TestCompareIgnoresNewPutFields: a baseline written before the one-sided
+// counters existed (or before a record used the RMA exchange) has zero puts;
+// a new run that now reports put traffic must NOT trip the gate — the
+// optional fields only gate once the baseline itself carries them.
+func TestCompareIgnoresNewPutFields(t *testing.T) {
+	old := baselineDoc(1.0)
+	rma := baselineDoc(1.0)
+	links := rma.Records[0].Totals.Links
+	links["same-numa"] = LinkStat{Puts: 500, PutBytes: 4_000_000, Notifies: 500}
+	res, err := Compare(old, rma, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Deltas {
+		if d.Metric == "totals.puts" || d.Metric == "totals.put_bytes" {
+			t.Errorf("put metric %s tracked against a baseline without puts", d.Metric)
+		}
+	}
+	if res.Regressed() {
+		t.Fatal("new optional put fields must not regress an old baseline")
+	}
+}
+
+// TestCompareFlagsPutRegression: once the baseline has one-sided traffic,
+// growth in it gates like any other volume metric.
+func TestCompareFlagsPutRegression(t *testing.T) {
+	old := baselineDoc(1.0)
+	old.Records[0].Totals.Links["same-numa"] = LinkStat{Puts: 500, PutBytes: 4_000_000, Notifies: 500}
+	fat := baselineDoc(1.0)
+	fat.Records[0].Totals.Links["same-numa"] = LinkStat{Puts: 1500, PutBytes: 12_000_000, Notifies: 1500}
+	res, err := Compare(old, fat, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed() {
+		t.Fatal("3x put volume must regress once the baseline tracks puts")
+	}
+}
+
 func TestCompareMissingRecordFails(t *testing.T) {
 	old := baselineDoc(1.0)
 	res, err := Compare(old, Document{Schema: SchemaVersion}, 0.10)

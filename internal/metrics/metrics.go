@@ -40,16 +40,24 @@ const (
 	NumPhases = trace.NumPhases
 )
 
-// LinkTally is a (message count, byte volume) pair for one link class.
+// LinkTally tallies one link class's traffic: two-sided messages and bytes,
+// plus one-sided puts, put volume and notifications (internal/rma traffic,
+// zero unless the run used the one-sided exchange).
 type LinkTally struct {
 	Messages int64
 	Bytes    int64
+	Puts     int64
+	PutBytes int64
+	Notifies int64
 }
 
 // add accumulates o into t.
 func (t *LinkTally) add(o LinkTally) {
 	t.Messages += o.Messages
 	t.Bytes += o.Bytes
+	t.Puts += o.Puts
+	t.PutBytes += o.PutBytes
+	t.Notifies += o.Notifies
 }
 
 // Recorder accumulates one rank's per-phase time (against its clock, wall
@@ -76,6 +84,11 @@ type Recorder struct {
 	// ElementsIn and ElementsOut are the rank's partition sizes before and
 	// after sorting, feeding the output-imbalance factor.
 	ElementsIn, ElementsOut int
+	// ExchangeAlg is the data-exchange algorithm that actually ran —
+	// recorded by core.ExchangeAndMerge as the effective choice, which may
+	// differ from the requested one (e.g. hierarchical silently degrades
+	// to one-factor without node topology).
+	ExchangeAlg string
 }
 
 // NewRecorder returns a recorder ticking on clock and attributing the
@@ -106,7 +119,10 @@ func (r *Recorder) Enter(p Phase) {
 	if r.stats != nil {
 		d := r.stats.Sub(r.statMark)
 		for lc := 0; lc < int(simnet.NumLinkClasses); lc++ {
-			r.Links[r.cur][lc].add(LinkTally{Messages: d.Messages[lc], Bytes: d.Bytes[lc]})
+			r.Links[r.cur][lc].add(LinkTally{
+				Messages: d.Messages[lc], Bytes: d.Bytes[lc],
+				Puts: d.Puts[lc], PutBytes: d.PutBytes[lc], Notifies: d.Notifies[lc],
+			})
 		}
 		r.statMark = *r.stats
 	}
@@ -137,6 +153,13 @@ func (r *Recorder) AddExchangedBytes(n int64) {
 func (r *Recorder) SetElements(in, out int) {
 	if r != nil {
 		r.ElementsIn, r.ElementsOut = in, out
+	}
+}
+
+// SetExchangeAlg records the effective data-exchange algorithm.
+func (r *Recorder) SetExchangeAlg(alg string) {
+	if r != nil {
+		r.ExchangeAlg = alg
 	}
 }
 
@@ -171,6 +194,9 @@ type Summary struct {
 	// OutputImbalance is max(rank output size) / mean(rank output size):
 	// 1.0 under perfect partitioning (Definition 1 with ε = 0).
 	OutputImbalance float64
+	// ExchangeAlg is the effective data-exchange algorithm (identical on
+	// every rank; empty when the run did not record one).
+	ExchangeAlg string
 }
 
 // Summarize aggregates per-rank recorders (nil entries are skipped).
@@ -206,6 +232,9 @@ func Summarize(recs []*Recorder) Summary {
 			s.MaxIterations = r.Iterations
 		}
 		s.ExchangedBytes += r.ExchangedBytes
+		if s.ExchangeAlg == "" {
+			s.ExchangeAlg = r.ExchangeAlg
+		}
 	}
 	if s.Ranks > 0 {
 		for p := Phase(0); p < NumPhases; p++ {

@@ -71,10 +71,16 @@ func NewDurationStat(reps []time.Duration) DurationStat {
 	}
 }
 
-// LinkStat is the JSON form of a LinkTally.
+// LinkStat is the JSON form of a LinkTally.  The one-sided counters are
+// OPTIONAL schema fields: they are omitted when zero, so documents from
+// runs without RMA traffic — including every pre-existing baseline — are
+// byte-identical to the previous layout and round-trip unchanged.
 type LinkStat struct {
 	Messages int64 `json:"messages"`
 	Bytes    int64 `json:"bytes"`
+	Puts     int64 `json:"puts,omitempty"`
+	PutBytes int64 `json:"put_bytes,omitempty"`
+	Notifies int64 `json:"notifies,omitempty"`
 }
 
 // PhaseStat is one superstep's contribution: time across ranks plus the
@@ -115,6 +121,11 @@ type Record struct {
 	// Iterations is the histogramming iteration count (first repetition).
 	Iterations int       `json:"iterations"`
 	Imbalance  Imbalance `json:"imbalance"`
+	// Exchange is the effective data-exchange algorithm the run used
+	// (optional: empty for algorithms that do not record one).  It names
+	// what actually ran, e.g. "one-factor" when hierarchical silently
+	// degraded without node topology, or "rma-put" for the one-sided path.
+	Exchange string `json:"exchange,omitempty"`
 	// Phases holds the per-superstep breakdown of the first repetition,
 	// keyed by phase name (LocalSort, Histogram, Exchange, Merge, Other).
 	Phases map[string]PhaseStat `json:"phases"`
@@ -133,10 +144,13 @@ func linkMap(tallies [simnet.NumLinkClasses]LinkTally) map[string]LinkStat {
 	out := make(map[string]LinkStat)
 	for _, lc := range simnet.LinkClasses {
 		t := tallies[lc]
-		if t.Messages == 0 && t.Bytes == 0 {
+		if t.Messages == 0 && t.Bytes == 0 && t.Puts == 0 && t.Notifies == 0 {
 			continue
 		}
-		out[lc.String()] = LinkStat{Messages: t.Messages, Bytes: t.Bytes}
+		out[lc.String()] = LinkStat{
+			Messages: t.Messages, Bytes: t.Bytes,
+			Puts: t.Puts, PutBytes: t.PutBytes, Notifies: t.Notifies,
+		}
 	}
 	if len(out) == 0 {
 		return nil
@@ -168,6 +182,7 @@ func NewRecord(algorithm string, p, perRank int, workload string, makespans []ti
 		Makespan:   NewDurationStat(makespans),
 		Iterations: s.MaxIterations,
 		Imbalance:  Imbalance{Time: round3(s.TimeImbalance), Output: round3(s.OutputImbalance)},
+		Exchange:   s.ExchangeAlg,
 		Phases:     phases,
 		Totals: Totals{
 			Links:          linkMap(s.TotalLinks()),

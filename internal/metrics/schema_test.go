@@ -18,10 +18,41 @@ const goldenPath = "testdata/golden_v1.json"
 // must decode, and re-encoding the decoded document must reproduce it byte
 // for byte.  Any schema change shows up as a golden diff and forces a
 // deliberate decision (and, for incompatible changes, a version bump).
+// goldenDoc is the baseline plus one record exercising the optional
+// one-sided fields (exchange, puts/put_bytes/notifies), so the golden file
+// pins both layouts: records without RMA traffic keep the original byte
+// layout (omitempty), records with it round-trip the new counters.
+func goldenDoc() Document {
+	d := baselineDoc(1.0)
+	d.Records = append(d.Records, Record{
+		Algorithm: "dhsort-rma",
+		P:         16,
+		PerRank:   4096,
+		Workload:  "uniform",
+		Reps:      3,
+		Makespan:  DurationStat{MeanNS: 9_000_000, MinNS: 8_500_000, MaxNS: 9_500_000},
+		Imbalance: Imbalance{Time: 1.01, Output: 1},
+		Exchange:  "rma-put",
+		Phases: map[string]PhaseStat{
+			"Exchange": {MeanNS: 2_500_000, MaxNS: 2_800_000,
+				Links: map[string]LinkStat{"same-numa": {Puts: 240, PutBytes: 2_000_000, Notifies: 240}}},
+		},
+		Totals: Totals{
+			Links: map[string]LinkStat{
+				"network":   {Messages: 120, Bytes: 48_000},
+				"same-numa": {Puts: 240, PutBytes: 2_000_000, Notifies: 240},
+			},
+			ExchangedBytes: 2_000_000,
+		},
+		Iterations: 30,
+	})
+	return d
+}
+
 func TestGoldenRoundTrip(t *testing.T) {
 	if *updateGolden {
 		var buf bytes.Buffer
-		if err := Encode(&buf, baselineDoc(1.0)); err != nil {
+		if err := Encode(&buf, goldenDoc()); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {

@@ -100,6 +100,74 @@ func (m *CostModel) MsgCost(src, dst, bytes int) time.Duration {
 	return m.Alpha[lc] + time.Duration(float64(bytes)/m.GBps[lc])
 }
 
+// One-sided (RMA) pricing, used by internal/rma.  The model distinguishes
+// the two transports of §VI-A1/§VI-D: under PGAS, intra-node windows are
+// MPI-3 shared memory, so a put is a single memcpy at full memory bandwidth
+// with no rendezvous, no send overhead and no protocol latency, and a
+// notification is a flag store that is visible as soon as the data is;
+// under a conventional MPI stack a put is emulated by an internal send and
+// a notification needs a flush round trip followed by a small message —
+// DART-MPI's exact overhead on clusters without native put+notify.
+
+// RMAPutCost prices a one-sided put of bytes from world rank src into
+// dst's window.  busy is the time the origin CPU/NIC is occupied (successive
+// puts serialize on it); completion is the additional in-flight time until
+// the data is remotely visible at the target.
+func (m *CostModel) RMAPutCost(src, dst, bytes int) (busy, completion time.Duration) {
+	lc := m.Topo.Link(src, dst)
+	if m.PGAS && lc != Network {
+		// Shared-memory window: the put IS the memcpy.  Unlike a
+		// two-sided send (copy into a shared heap, copy out at the
+		// receiver — the halved effective GBps of the link class), the
+		// origin writes the target's window directly at full memory
+		// bandwidth, and the data is visible the moment the copy ends.
+		return time.Duration(float64(bytes) / m.MemGBps), 0
+	}
+	// RDMA put over the network, or a put emulated over conventional MPI
+	// intra-node: the same injection pipeline as a two-sided eager send.
+	return m.SendOverhead + time.Duration(float64(bytes)/m.GBps[lc]), m.Alpha[lc]
+}
+
+// RMANotifyCost prices the put-notification signalling remote completion to
+// the target (DART's put+notify).  busy is origin CPU time; delay is the
+// in-flight time until the target can consume the notification, counted
+// after the notified put has remotely completed.
+func (m *CostModel) RMANotifyCost(src, dst int) (busy, delay time.Duration) {
+	lc := m.Topo.Link(src, dst)
+	if m.PGAS && lc != Network {
+		// A flag store in the shared window, ordered after the memcpy.
+		return 0, 0
+	}
+	if m.PGAS {
+		// RDMA write-with-immediate: one extra small NIC message.
+		return m.SendOverhead, m.Alpha[lc]
+	}
+	// Conventional MPI has no native notify: emulate with a flush (round
+	// trip, 2α) to guarantee remote completion, then a small send.
+	return 2*m.Alpha[lc] + m.SendOverhead, m.Alpha[lc]
+}
+
+// RMAGetCost prices a blocking one-sided get: the rank at world rank origin
+// reads bytes out of target's window.
+func (m *CostModel) RMAGetCost(origin, target, bytes int) time.Duration {
+	lc := m.Topo.Link(origin, target)
+	if m.PGAS && lc != Network {
+		return time.Duration(float64(bytes) / m.MemGBps)
+	}
+	// Request plus data return: a full round trip around the transfer.
+	return m.SendOverhead + 2*m.Alpha[lc] + time.Duration(float64(bytes)/m.GBps[lc])
+}
+
+// RMAFlushCost prices Flush's completion guarantee towards one target,
+// beyond waiting out the pending puts' completion times.
+func (m *CostModel) RMAFlushCost(src, dst int) time.Duration {
+	lc := m.Topo.Link(src, dst)
+	if m.PGAS && lc != Network {
+		return 0
+	}
+	return 2 * m.Alpha[lc] // round trip to the target's MPI progress engine
+}
+
 // SortCost prices a local comparison sort of n keys.
 func (m *CostModel) SortCost(n int) time.Duration {
 	if n < 2 {
