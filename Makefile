@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange
+.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange bench-local
 
 ci:
 	./ci.sh
@@ -9,11 +9,13 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/core
+	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss
 
-# Tiny deterministic grid for CI; artifact uploaded by the workflow.
+# Tiny deterministic grid for CI; artifact uploaded by the workflow.  The
+# second run engages the parallel intra-rank kernels (-threads 2).
 bench-smoke:
 	go run ./cmd/bench -json BENCH_ci.json -smoke
+	go run ./cmd/bench -json BENCH_ci_t2.json -smoke -threads 2
 
 # Regenerate the full benchmark trajectory document.
 bench-json:
@@ -28,3 +30,8 @@ bench-compare:
 # one-sided RMA put, under PGAS and pure-MPI intra-node pricing.
 bench-exchange:
 	go run ./cmd/bench -exp exchange
+
+# Intra-rank kernel ablation (the Fig. 4 companion): introsort vs LSD radix
+# vs fork-join task merge sort, plus the core.LocalSort dispatch table.
+bench-local:
+	go run ./cmd/bench -exp local

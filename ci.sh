@@ -11,8 +11,9 @@ set -eu
 
 # Race-sensitive packages: the message-passing substrate, the one-sided RMA
 # windows (cross-goroutine direct memory writes), the shared-memory parallel
-# sort, and the core algorithm that drives them.
-RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/core"
+# sort, the intra-rank kernels (fork-join merges, radix scratch reuse), and
+# the algorithms that drive them.
+RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss"
 
 echo "== gofmt"
 fmt_out=$(gofmt -l .)
@@ -37,6 +38,12 @@ go test -race $RACE_PKGS
 if [ "${1:-}" = "bench" ]; then
     echo "== bench smoke (BENCH_ci.json)"
     go run ./cmd/bench -json BENCH_ci.json -smoke
+    # Same grid with the parallel intra-rank kernels engaged: exercises the
+    # threaded supersteps end to end.  Threads only speed the modelled
+    # compute phases up, so the default-threads baseline above stays the
+    # conservative one the compare gate tracks.
+    echo "== bench smoke, threaded kernels (BENCH_ci_t2.json)"
+    go run ./cmd/bench -json BENCH_ci_t2.json -smoke -threads 2
 fi
 
 echo "== ci OK"

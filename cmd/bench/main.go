@@ -34,6 +34,7 @@ func main() {
 		full      = flag.Bool("full", false, "paper-scale parameter sweep (slow)")
 		reps      = flag.Int("reps", 3, "repetitions per point (the paper uses 10)")
 		seed      = flag.Uint64("seed", 42, "base workload seed")
+		threads   = flag.Int("threads", 1, "intra-rank worker budget for the dhsort/hss compute kernels (1 keeps modelled times machine-independent)")
 		jsonOut   = flag.String("json", "", "run the metrics suite and write the JSON document to this path")
 		smoke     = flag.Bool("smoke", false, "with -json/-compare: tiny grid for CI smoke runs")
 		compare   = flag.String("compare", "", "baseline JSON document to diff against (regression gate)")
@@ -50,10 +51,10 @@ func main() {
 	}
 
 	if *jsonOut != "" || *compare != "" {
-		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threshold))
+		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threads, *threshold))
 	}
 
-	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed}
+	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed, Threads: *threads}
 	run := func(e bench.Experiment) {
 		fmt.Printf("=== %s: %s\n", e.Name, e.Description)
 		start := time.Now()
@@ -80,7 +81,7 @@ func main() {
 
 // metricsMode runs the JSON suite and/or the regression gate; the return
 // value is the process exit status (0 ok, 1 error, 3 regression).
-func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threshold float64) int {
+func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threads int, threshold float64) int {
 	var doc metrics.Document
 	switch {
 	case with != "":
@@ -97,7 +98,7 @@ func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint6
 	default:
 		fmt.Printf("=== metrics suite (%s grid)\n", map[bool]string{true: "smoke", false: "full"}[smoke])
 		start := time.Now()
-		d, err := bench.RunSuite(bench.SuiteOptions{Smoke: smoke, Reps: reps, Seed: seed, Progress: os.Stdout})
+		d, err := bench.RunSuite(bench.SuiteOptions{Smoke: smoke, Reps: reps, Seed: seed, Threads: threads, Progress: os.Stdout})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			return 1

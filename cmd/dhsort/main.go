@@ -40,6 +40,8 @@ func main() {
 		model = flag.String("model", "none", "cost model: none (real time) | pgas | mpi")
 		rpn   = flag.Int("ranks-per-node", 16, "ranks per node for the cost model")
 		scale = flag.Float64("scale", 1, "virtual data-scale multiplier (with a cost model)")
+		thr   = flag.Int("threads", 0, "intra-rank worker budget for dhsort/hss compute kernels (0 = GOMAXPROCS; set 1 for reproducible virtual clocks)")
+		kern  = flag.String("kernel", "", "force the dhsort Local Sort kernel: radix|task-merge|introsort (empty = dispatch by key type)")
 	)
 	flag.Parse()
 
@@ -107,11 +109,11 @@ func main() {
 		switch *alg {
 		case "dhsort":
 			out, err = dhsort.Sort(c, local, dhsort.Uint64Ops, dhsort.Config{
-				Epsilon: *eps, Merge: ms, Exchange: ex, VirtualScale: *scale, Recorder: rec,
+				Epsilon: *eps, Merge: ms, Exchange: ex, VirtualScale: *scale, Threads: *thr, Kernel: *kern, Recorder: rec,
 			})
 		case "hss":
 			out, err = hss.Sort(c, local, keys.Uint64{}, hss.Config{
-				Epsilon: *eps, Exchange: ex, VirtualScale: *scale, Recorder: rec, Seed: *seed,
+				Epsilon: *eps, Exchange: ex, VirtualScale: *scale, Threads: *thr, Recorder: rec, Seed: *seed,
 			})
 		case "samplesort":
 			out, err = samplesort.Sort(c, local, keys.Uint64{}, samplesort.Config{
@@ -151,6 +153,9 @@ func main() {
 	fmt.Printf("sorted %d %s keys on %d ranks (alg=%s, eps=%v, merge=%s)\n", *n, *dist, *p, *alg, *eps, *merge)
 	if s.ExchangeAlg != "" {
 		fmt.Printf("data exchange: %s (effective)\n", s.ExchangeAlg)
+	}
+	if s.LocalSortKernel != "" {
+		fmt.Printf("local sort kernel: %s (%d threads)\n", s.LocalSortKernel, s.Threads)
 	}
 	if m != nil {
 		fmt.Printf("virtual makespan: %v (SuperMUC model, %d ranks/node, scale x%g; wall %v)\n",

@@ -42,6 +42,11 @@ type Options struct {
 	Full bool
 	// Seed is the base workload seed.
 	Seed uint64
+	// Threads is the intra-rank worker budget handed to the dhsort/hss
+	// compute kernels (core.Config.Threads).  0 means 1: experiments pin
+	// the budget rather than inherit GOMAXPROCS so virtual-clock tables
+	// are identical on every machine.
+	Threads int
 }
 
 func (o Options) reps() int {
@@ -49,6 +54,13 @@ func (o Options) reps() int {
 		return 3
 	}
 	return o.Reps
+}
+
+func (o Options) threads() int {
+	if o.Threads <= 0 {
+		return 1
+	}
+	return o.Threads
 }
 
 // Experiment is a runnable evaluation artifact.
@@ -68,6 +80,7 @@ var Experiments = []Experiment{
 	{"fig4", "Fig. 4 — shared-memory NUMA study vs PSTL/OpenMP stand-ins", Fig4},
 	{"iters", "§V-A — histogramming iteration counts by key width and P", Iters},
 	{"merge", "§VI-E — k-way merge study (threads × chunks)", MergeStudy},
+	{"local", "ablation — intra-rank kernels: introsort vs LSD radix vs fork-join merge sort", LocalKernels},
 	{"normal", "§VI-B — normal-distribution robustness, dhsort vs HSS", NormalStudy},
 	{"pgas", "ablation — PGAS shared-memory windows vs pure MPI intra-node", PGAS},
 	{"baselines", "ablation — all five sorters on one configuration", Baselines},
@@ -93,31 +106,34 @@ type sorter struct {
 	run  func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, seed uint64) ([]uint64, error)
 }
 
-func dhsortSorter() sorter {
+// The dhsort/hss factories take the intra-rank thread budget explicitly:
+// Threads == 0 would fall back to GOMAXPROCS inside core, making modelled
+// times machine-dependent.
+func dhsortSorter(threads int) sorter {
 	return sorter{"dhsort", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
-		return core.Sort(c, local, keys.Uint64{}, core.Config{VirtualScale: scale, Recorder: rec})
+		return core.Sort(c, local, keys.Uint64{}, core.Config{VirtualScale: scale, Threads: threads, Recorder: rec})
 	}}
 }
 
 // dhsortFusedSorter selects the fused exchange+merge: two-sided 1-factor
 // sendrecv rounds with merging overlapped behind later transfers (§VI-E1).
-func dhsortFusedSorter() sorter {
+func dhsortFusedSorter(threads int) sorter {
 	return sorter{"dhsort-fused", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
-		return core.Sort(c, local, keys.Uint64{}, core.Config{Merge: core.MergeOverlap, VirtualScale: scale, Recorder: rec})
+		return core.Sort(c, local, keys.Uint64{}, core.Config{Merge: core.MergeOverlap, VirtualScale: scale, Threads: threads, Recorder: rec})
 	}}
 }
 
 // dhsortRMASorter selects the one-sided put+notify exchange over rma
 // windows (the paper's DART/DASH substrate).
-func dhsortRMASorter() sorter {
+func dhsortRMASorter(threads int) sorter {
 	return sorter{"dhsort-rma", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
-		return core.Sort(c, local, keys.Uint64{}, core.Config{Exchange: comm.ExchangeRMAPut, VirtualScale: scale, Recorder: rec})
+		return core.Sort(c, local, keys.Uint64{}, core.Config{Exchange: comm.ExchangeRMAPut, VirtualScale: scale, Threads: threads, Recorder: rec})
 	}}
 }
 
-func hssSorter() sorter {
+func hssSorter(threads int) sorter {
 	return sorter{"hss", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, seed uint64) ([]uint64, error) {
-		return hss.Sort(c, local, keys.Uint64{}, hss.Config{VirtualScale: scale, Recorder: rec, Seed: seed})
+		return hss.Sort(c, local, keys.Uint64{}, hss.Config{VirtualScale: scale, Threads: threads, Recorder: rec, Seed: seed})
 	}}
 }
 

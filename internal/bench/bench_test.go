@@ -67,15 +67,17 @@ func TestFig4Report(t *testing.T) {
 	if !strings.Contains(out, "domains") || !strings.Contains(out, "winner") {
 		t.Errorf("fig4 report incomplete:\n%s", out)
 	}
-	// The paper's crossover: PSTL line must win the 1-domain row, dhsort
-	// the 4-domain row.
+	// The paper's crossover (judged on the paper-faithful comparison-kernel
+	// column): PSTL must win the 1-domain row, dhsort the 4-domain row.
+	// The +radix column is informational — the fast path this reproduction
+	// adds on top of the paper's std::sort local phase.
 	for _, line := range strings.Split(out, "\n") {
 		fields := strings.Fields(line)
-		if len(fields) >= 6 && fields[0] == "1" && fields[5] != "PSTL" {
-			t.Errorf("1-domain winner = %s, want PSTL", fields[5])
+		if len(fields) >= 7 && fields[0] == "1" && fields[6] != "PSTL" {
+			t.Errorf("1-domain winner = %s, want PSTL", fields[6])
 		}
-		if len(fields) >= 6 && fields[0] == "4" && fields[5] != "dhsort" {
-			t.Errorf("4-domain winner = %s, want dhsort", fields[5])
+		if len(fields) >= 7 && fields[0] == "4" && fields[6] != "dhsort" {
+			t.Errorf("4-domain winner = %s, want dhsort", fields[6])
 		}
 	}
 }

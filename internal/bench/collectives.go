@@ -126,12 +126,12 @@ func Splitters(o Options) error {
 				start := c.Clock().Now()
 				switch method {
 				case "histogram":
-					core.FindSplitters(c, sorted, keys.Uint64{}, targets, 0, core.Config{})
+					core.FindSplitters(c, sorted, keys.Uint64{}, targets, 0, core.Config{Threads: 1})
 				case "sampled":
 					hss.FindSplittersSampled(c, sorted, keys.Uint64{}, targets, 0,
-						hss.Config{Seed: o.Seed})
+						hss.Config{Seed: o.Seed, Threads: 1})
 				case "selection":
-					if _, err := core.FindSplittersViaSelection(c, local, keys.Uint64{}, targets, core.Config{}); err != nil {
+					if _, err := core.FindSplittersViaSelection(c, local, keys.Uint64{}, targets, core.Config{Threads: 1}); err != nil {
 						return err
 					}
 				}

@@ -122,18 +122,18 @@ func measureIters(dist workload.Distribution, span uint64, kind string, p, perRa
 				local[i] = uint32(v)
 			}
 			sortutil.Sort(local, keys.Uint32{}.Less)
-			_, n = core.FindSplitters[uint32](c, local, keys.Uint32{}, targets, 0, core.Config{})
+			_, n = core.FindSplitters[uint32](c, local, keys.Uint32{}, targets, 0, core.Config{Threads: 1})
 		case "float32":
 			local := make([]float32, len(raw))
 			for i, v := range raw {
 				local[i] = float32(v) / 3.7
 			}
 			sortutil.Sort(local, keys.Float32{}.Less)
-			_, n = core.FindSplitters[float32](c, local, keys.Float32{}, targets, 0, core.Config{})
+			_, n = core.FindSplitters[float32](c, local, keys.Float32{}, targets, 0, core.Config{Threads: 1})
 		default:
 			local := append([]uint64(nil), raw...)
 			sortutil.Sort(local, keys.Uint64{}.Less)
-			_, n = core.FindSplitters[uint64](c, local, keys.Uint64{}, targets, 0, core.Config{})
+			_, n = core.FindSplitters[uint64](c, local, keys.Uint64{}, targets, 0, core.Config{Threads: 1})
 		}
 		mu.Lock()
 		iters[c.Rank()] = n
@@ -216,11 +216,11 @@ func NormalStudy(o Options) error {
 	var dhMin, dhMax, hsMin, hsMax int
 	for rep := 0; rep < o.reps(); rep++ {
 		spec := workload.Spec{Dist: workload.Normal, Seed: o.Seed + uint64(rep)*97, Span: 1e9}
-		dh, err := runOnce(dhsortSorter(), p, perRank, model, 1024, spec)
+		dh, err := runOnce(dhsortSorter(o.threads()), p, perRank, model, 1024, spec)
 		if err != nil {
 			return err
 		}
-		hs, err := runOnce(hssSorter(), p, perRank, model, 1024, spec)
+		hs, err := runOnce(hssSorter(o.threads()), p, perRank, model, 1024, spec)
 		if err != nil {
 			return err
 		}
@@ -251,11 +251,11 @@ func PGAS(o Options) error {
 	fmt.Fprintf(tw, "cores\tnodes\tPGAS s\tMPI s\tPGAS gain\n")
 	for _, p := range []int{16, 64, 256} {
 		spec := workload.Spec{Dist: workload.Uniform, Seed: o.Seed + uint64(p), Span: 1e9}
-		pg, err := runOnce(dhsortSorter(), p, realTotal/p, simnet.SuperMUC(16, true), scale, spec)
+		pg, err := runOnce(dhsortSorter(o.threads()), p, realTotal/p, simnet.SuperMUC(16, true), scale, spec)
 		if err != nil {
 			return err
 		}
-		mp, err := runOnce(dhsortSorter(), p, realTotal/p, simnet.SuperMUC(16, false), scale, spec)
+		mp, err := runOnce(dhsortSorter(o.threads()), p, realTotal/p, simnet.SuperMUC(16, false), scale, spec)
 		if err != nil {
 			return err
 		}
@@ -280,8 +280,8 @@ func Baselines(o Options) error {
 		s    sorter
 		note string
 	}{
-		{dhsortSorter(), "this paper; one data move, perfect partitioning"},
-		{hssSorter(), "Charm++ comparator [1]; sampled probes"},
+		{dhsortSorter(o.threads()), "this paper; one data move, perfect partitioning"},
+		{hssSorter(o.threads()), "Charm++ comparator [1]; sampled probes"},
 		{samplesortSorter(), "single-round sampling; approximate balance"},
 		{hyksortSorter(), "recursive comm splits [20]"},
 		{bitonicSorter(), "sorting network; moves data log P times"},

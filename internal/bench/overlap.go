@@ -57,11 +57,16 @@ func Overlap(o Options) error {
 	return nil
 }
 
-// runOnceCfg runs a single dhsort configuration under the model.
+// runOnceCfg runs a single dhsort configuration under the model.  An
+// unset thread budget is pinned to 1 so modelled times never depend on
+// the host's GOMAXPROCS.
 func runOnceCfg(p, perRank int, model *simnet.CostModel, spec workload.Spec, cfg core.Config) (point, error) {
 	s := sorter{"dhsort", func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
 		cc := cfg
 		cc.Recorder = rec
+		if cc.Threads <= 0 {
+			cc.Threads = 1
+		}
 		return core.Sort(c, local, keys.Uint64{}, cc)
 	}}
 	return runOnce(s, p, perRank, model, cfg.VirtualScale, spec)

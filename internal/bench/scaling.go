@@ -53,11 +53,11 @@ func Fig2a(o Options) error {
 	for _, p := range points {
 		perRank := realTotal / p
 		spec := workload.Spec{Dist: workload.Uniform, Seed: o.Seed + uint64(p), Span: 1e9}
-		dh, _, err := series(dhsortSorter(), p, perRank, model, scale, spec, o.reps())
+		dh, _, err := series(dhsortSorter(o.threads()), p, perRank, model, scale, spec, o.reps())
 		if err != nil {
 			return err
 		}
-		hs, _, err := series(hssSorter(), p, perRank, model, scale, spec, o.reps())
+		hs, _, err := series(hssSorter(o.threads()), p, perRank, model, scale, spec, o.reps())
 		if err != nil {
 			return err
 		}
@@ -87,7 +87,7 @@ func Fig2b(o Options) error {
 	fmt.Fprintf(tw, "cores\tnodes\tLocalSort\tHistogram\tExchange\tMerge\tOther\titers\n")
 	for _, p := range strongPoints(o.Full) {
 		spec := workload.Spec{Dist: workload.Uniform, Seed: o.Seed + uint64(p), Span: 1e9}
-		pt, err := runOnce(dhsortSorter(), p, realTotal/p, model, scale, spec)
+		pt, err := runOnce(dhsortSorter(o.threads()), p, realTotal/p, model, scale, spec)
 		if err != nil {
 			return err
 		}
@@ -133,11 +133,11 @@ func Fig3a(o Options) error {
 	for i, nodes := range weakNodes(o.Full) {
 		p := nodes * ranksPerNodeFig23
 		spec := workload.Spec{Dist: workload.Uniform, Seed: o.Seed + uint64(nodes), Span: 1e9}
-		dh, _, err := series(dhsortSorter(), p, perRankReal, model, scale, spec, o.reps())
+		dh, _, err := series(dhsortSorter(o.threads()), p, perRankReal, model, scale, spec, o.reps())
 		if err != nil {
 			return err
 		}
-		hs, _, err := series(hssSorter(), p, perRankReal, model, scale, spec, o.reps())
+		hs, _, err := series(hssSorter(o.threads()), p, perRankReal, model, scale, spec, o.reps())
 		if err != nil {
 			return err
 		}
@@ -167,7 +167,7 @@ func Fig3b(o Options) error {
 	for _, nodes := range weakNodes(o.Full) {
 		p := nodes * ranksPerNodeFig23
 		spec := workload.Spec{Dist: workload.Uniform, Seed: o.Seed + uint64(nodes), Span: 1e9}
-		pt, err := runOnce(dhsortSorter(), p, perRankReal, model, scale, spec)
+		pt, err := runOnce(dhsortSorter(o.threads()), p, perRankReal, model, scale, spec)
 		if err != nil {
 			return err
 		}

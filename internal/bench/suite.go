@@ -19,6 +19,11 @@ type SuiteOptions struct {
 	Reps int
 	// Seed is the base workload seed.
 	Seed uint64
+	// Threads is the intra-rank worker budget for the dhsort/hss compute
+	// kernels (0 means 1).  The default keeps every tracked metric
+	// machine-independent; CI additionally smokes the suite with -threads 2
+	// to exercise the parallel kernels under the model.
+	Threads int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
 }
@@ -31,6 +36,13 @@ func (o SuiteOptions) reps() int {
 		return 3
 	}
 	return o.Reps
+}
+
+func (o SuiteOptions) threads() int {
+	if o.Threads <= 0 {
+		return 1
+	}
+	return o.Threads
 }
 
 // suiteGrid is the measured parameter grid.  All runs use the SuperMUC
@@ -77,9 +89,10 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 			Seed:         o.Seed,
 		},
 	}
+	threads := o.threads()
 	sorters := []sorter{
-		dhsortSorter(), dhsortFusedSorter(), dhsortRMASorter(),
-		hssSorter(), samplesortSorter(), hyksortSorter(), bitonicSorter(),
+		dhsortSorter(threads), dhsortFusedSorter(threads), dhsortRMASorter(threads),
+		hssSorter(threads), samplesortSorter(), hyksortSorter(), bitonicSorter(),
 	}
 	for _, s := range sorters {
 		for _, p := range grid.ps {

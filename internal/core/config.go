@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"dhsort/internal/comm"
 	"dhsort/internal/metrics"
@@ -107,6 +108,23 @@ type Config struct {
 	// uniqueness transformation); 0 means that bound.
 	MaxIterations int
 
+	// Kernel forces a specific Local Sort kernel instead of the automatic
+	// dispatch: KernelRadix, KernelTaskMerge or KernelIntrosort.  Empty
+	// means dispatch by key capability and thread budget.  Forcing
+	// KernelRadix on keys without a fixed-width image falls back to the
+	// comparison kernels.  Useful for ablations — e.g. reproducing the
+	// paper's comparison-sort local phase (its implementation used
+	// std::sort) next to the radix fast path.
+	Kernel string
+
+	// Threads is the intra-rank worker budget of the compute supersteps:
+	// the Local Sort kernel, the per-splitter histogram searches, and the
+	// Local Merge all fork-join across up to Threads goroutines.  Zero
+	// means runtime.GOMAXPROCS(0).  Set 1 for fully sequential kernels —
+	// required for cross-machine-reproducible virtual clocks, since the
+	// cost model prices the thread budget.
+	Threads int
+
 	// Recorder, when non-nil, receives this rank's phase timings and
 	// iteration counts.
 	Recorder *metrics.Recorder
@@ -118,6 +136,14 @@ func (cfg Config) scale() float64 {
 		return 1
 	}
 	return cfg.VirtualScale
+}
+
+// threads returns the effective intra-rank worker budget.
+func (cfg Config) threads() int {
+	if cfg.Threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return cfg.Threads
 }
 
 // maxIters returns the effective iteration bound.
@@ -138,6 +164,14 @@ func (cfg Config) validate() error {
 	}
 	if cfg.Exchange < comm.AlltoallAuto || cfg.Exchange > comm.ExchangeRMAPut {
 		return fmt.Errorf("core: unknown exchange algorithm %d", int(cfg.Exchange))
+	}
+	if cfg.Threads < 0 {
+		return fmt.Errorf("core: Threads must be non-negative, got %d", cfg.Threads)
+	}
+	switch cfg.Kernel {
+	case "", KernelRadix, KernelTaskMerge, KernelIntrosort:
+	default:
+		return fmt.Errorf("core: unknown local sort kernel %q", cfg.Kernel)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
 	"dhsort/internal/metrics"
+	"dhsort/internal/psort"
 	"dhsort/internal/sortutil"
 )
 
@@ -20,7 +21,7 @@ import (
 // The returned cuts have length P+1 with cuts[0] = 0 and cuts[P] = n; the
 // segment [cuts[d], cuts[d+1]) of the locally sorted partition goes to
 // rank d.
-func ComputeCuts[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], splitters []K, targets []int64) []int {
+func ComputeCuts[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], splitters []K, targets []int64, cfg Config) []int {
 	p := c.Size()
 	n := len(sorted)
 	model := c.Model()
@@ -31,17 +32,20 @@ func ComputeCuts[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], splitters []K
 	}
 
 	// Local bounds of every splitter: l_d keys are strictly below splitter
-	// d, u_d at or below it.
+	// d, u_d at or below it.  The P-1 searches are independent reads of
+	// the sorted partition, so they fork across the thread budget.
 	sendBounds := make([][]int64, p)
 	sendBounds[0] = []int64{0, 0} // rank 0 has no lower boundary splitter
-	for d := 1; d < p; d++ {
+	workers := searchWorkers(cfg.threads(), p-1, n)
+	psort.ParallelFor(p-1, workers, func(i int) {
+		d := i + 1
 		s := splitters[d-1]
 		l := int64(sortutil.LowerBound(sorted, s, ops.Less))
 		u := int64(sortutil.UpperBound(sorted, s, ops.Less))
 		sendBounds[d] = []int64{l, u}
-	}
+	})
 	if model != nil {
-		c.Clock().Advance(model.SearchCost(n, 2*(p-1)))
+		c.Clock().Advance(model.Threaded(model.SearchCost(n, 2*(p-1)), workers))
 	}
 
 	// Round 1: rank d collects every rank's bounds for splitter d.
@@ -107,9 +111,17 @@ func ComputeCuts[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], splitters []K
 // the Local Merge superstep (§V-C), returning the rank's final sorted
 // partition.
 func ExchangeAndMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []int, cfg Config) []K {
+	return ExchangeAndMergeArena(c, sorted, ops, cuts, cfg, nil)
+}
+
+// ExchangeAndMergeArena is ExchangeAndMerge drawing Local Merge scratch
+// from ar, the per-rank arena the Local Sort superstep already paid for
+// (nil means allocate).
+func ExchangeAndMergeArena[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []int, cfg Config, ar *sortutil.Arena[K]) []K {
 	p := c.Size()
 	model := c.Model()
 	scale := cfg.scale()
+	threads := cfg.threads()
 
 	sendCounts := make([]int, p)
 	var outBytes int64
@@ -166,19 +178,25 @@ func ExchangeAndMerge[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cuts []i
 	var out []K
 	switch cfg.Merge {
 	case MergeBinaryTree:
-		out = sortutil.MergeKBinary(runs, ops.Less)
+		out = psort.ParallelMergeKBinary(runs, ops.Less, threads)
 		if model != nil {
-			c.Clock().Advance(model.MergeCost(int(float64(len(recv))*scale), len(runs)))
+			c.Clock().Advance(model.Threaded(model.MergeCost(int(float64(len(recv))*scale), len(runs)), threads))
 		}
 	case MergeLoserTree:
+		// Sequential by design: the tournament tree's cache behaviour is
+		// the §VI-E point of comparison.
 		out = sortutil.MergeKLoser(runs, ops.Less)
 		if model != nil {
 			c.Clock().Advance(model.MergeCost(int(float64(len(recv))*scale), len(runs)))
 		}
 	default: // MergeResort — the paper's evaluated strategy.
-		out = sortutil.MergeKResort(runs, ops.Less)
+		// recv is this rank's own copy, so the re-sort runs in place
+		// through the same kernel dispatch as Local Sort, reusing the
+		// rank's scratch arena.
+		kernel, passes := LocalSortKernel(recv, ops, cfg.Kernel, threads, ar)
+		out = recv
 		if model != nil {
-			c.Clock().Advance(model.SortCost(int(float64(len(recv)) * scale)))
+			c.Clock().Advance(LocalSortCost(model, kernel, int(float64(len(recv))*scale), passes, threads))
 		}
 	}
 	return out

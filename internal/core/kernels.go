@@ -1,0 +1,97 @@
+package core
+
+import (
+	"time"
+
+	"dhsort/internal/keys"
+	"dhsort/internal/psort"
+	"dhsort/internal/simnet"
+	"dhsort/internal/sortutil"
+)
+
+// Local Sort kernel names, recorded per run in the metrics document
+// (Record.LocalSortKernel).
+const (
+	// KernelRadix is the LSD radix fast path for keys with a fixed-width
+	// uint64 image (keys.RadixOps).
+	KernelRadix = "radix"
+	// KernelTaskMerge is the fork-join task merge sort used for
+	// comparison-only keys when the thread budget exceeds one.
+	KernelTaskMerge = "task-merge"
+	// KernelIntrosort is the sequential comparison sort fallback.
+	KernelIntrosort = "introsort"
+)
+
+// LocalSort sorts a in place with the fastest applicable kernel — the
+// dispatch at the heart of the Local Sort superstep (§VI-B): LSD radix when
+// ops advertises a fixed-width key image, the fork-join task merge sort
+// when only comparisons are available but threads > 1, and the sequential
+// introsort otherwise.  Scratch comes from ar (nil means allocate).  It
+// returns the kernel name for the metrics record and, for the radix
+// kernel, the number of scatter passes executed (the honest input to
+// simnet's RadixSortCost; 0 for the other kernels).
+func LocalSort[K any](a []K, ops keys.Ops[K], threads int, ar *sortutil.Arena[K]) (kernel string, radixPasses int) {
+	return LocalSortKernel(a, ops, "", threads, ar)
+}
+
+// LocalSortKernel is LocalSort with an explicit kernel override (see
+// Config.Kernel); empty selects the automatic dispatch.  A forced radix
+// kernel on keys without a fixed-width image falls back to the comparison
+// kernels, so the returned name is always the kernel that actually ran.
+func LocalSortKernel[K any](a []K, ops keys.Ops[K], force string, threads int, ar *sortutil.Arena[K]) (kernel string, radixPasses int) {
+	if r, ok := keys.Radix(ops); ok && (force == "" || force == KernelRadix) {
+		return KernelRadix, radixSortOps(a, ops, r, ar)
+	}
+	if (threads > 1 && force == "") || force == KernelTaskMerge {
+		psort.ParallelTaskMergeSortScratch(a, ops.Less, threads, ar.Vals(len(a)))
+		return KernelTaskMerge, 0
+	}
+	sortutil.Sort(a, ops.Less)
+	return KernelIntrosort, 0
+}
+
+// radixSortOps runs the LSD kernel for ops.  Key types with a uniqueness
+// suffix (keys.RadixSuffixOps) sort by the suffix first and the primary
+// image second: both stages are stable, so the composition orders by
+// (primary, suffix) — the §V-A transformed comparison.
+func radixSortOps[K any](a []K, ops keys.Ops[K], r keys.RadixOps[K], ar *sortutil.Arena[K]) int {
+	var zero K
+	passes := 0
+	if s, ok := any(ops).(keys.RadixSuffixOps[K]); ok {
+		_, sw := s.RadixSuffix(zero)
+		passes += sortutil.RadixSortFuncScratch(a, func(k K) uint64 { v, _ := s.RadixSuffix(k); return v }, sw, ar)
+	}
+	_, w := r.RadixKey(zero)
+	passes += sortutil.RadixSortFuncScratch(a, func(k K) uint64 { v, _ := r.RadixKey(k); return v }, w, ar)
+	return passes
+}
+
+// LocalSortCost prices the chosen kernel on the virtual clock for n
+// (virtually scaled) keys.
+func LocalSortCost(m *simnet.CostModel, kernel string, n, radixPasses, threads int) time.Duration {
+	switch kernel {
+	case KernelRadix:
+		return m.RadixSortCost(n, radixPasses)
+	case KernelTaskMerge:
+		return m.Threaded(m.SortCost(n), threads)
+	}
+	return m.SortCost(n)
+}
+
+// searchParallelCutoff is the partition size below which per-splitter
+// binary searches are not worth forking for.
+const searchParallelCutoff = 4096
+
+// searchWorkers returns the worker count for `tasks` independent binary
+// searches over an n-element sorted partition — the Histogram superstep's
+// parallelism (the searches are independent reads).  The choice feeds the
+// cost model, so it depends only on the configuration and input size.
+func searchWorkers(threads, tasks, n int) int {
+	if threads <= 1 || tasks < 2 || n < searchParallelCutoff {
+		return 1
+	}
+	if threads > tasks {
+		return tasks
+	}
+	return threads
+}

@@ -4,7 +4,7 @@ import (
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
 	"dhsort/internal/metrics"
-	"dhsort/internal/sortutil"
+	"dhsort/internal/psort"
 )
 
 // runStack buffers sorted runs on a size-balanced stack for the fused
@@ -13,16 +13,19 @@ import (
 // in total, yet merging still happens between communication rounds and
 // overlaps in-flight transfers.  Merge time is charged to the Merge phase
 // and advances the virtual clock, which is what models the overlap: a chunk
-// whose arrival precedes the clock costs no wait.
+// whose arrival precedes the clock costs no wait.  The merges themselves
+// run on the configured intra-rank thread budget via the psort co-rank
+// pairwise merge.
 type runStack[K any] struct {
-	c     *comm.Comm
-	ops   keys.Ops[K]
-	cfg   Config
-	stack [][]K
+	c       *comm.Comm
+	ops     keys.Ops[K]
+	cfg     Config
+	threads int
+	stack   [][]K
 }
 
 func newRunStack[K any](c *comm.Comm, ops keys.Ops[K], cfg Config) *runStack[K] {
-	return &runStack[K]{c: c, ops: ops, cfg: cfg}
+	return &runStack[K]{c: c, ops: ops, cfg: cfg, threads: cfg.threads()}
 }
 
 // push adds one sorted run and collapses the stack while it is unbalanced.
@@ -38,22 +41,23 @@ func (s *runStack[K]) push(run []K) {
 		a, b := s.stack[len(s.stack)-2], s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-2]
 		s.cfg.Recorder.Enter(metrics.Merge)
-		merged := sortutil.Merge(a, b, s.ops.Less)
+		merged := make([]K, len(a)+len(b))
+		psort.ParallelMerge(merged, a, b, s.ops.Less, s.threads)
 		if model != nil {
-			s.c.Clock().Advance(model.MergeCost(int(float64(len(merged))*scale), 2))
+			s.c.Clock().Advance(model.Threaded(model.MergeCost(int(float64(len(merged))*scale), 2), s.threads))
 		}
 		s.cfg.Recorder.Enter(metrics.Exchange)
 		s.stack = append(s.stack, merged)
 	}
 }
 
-// finish merges the remaining runs through a tournament tree and returns
-// the fully merged result.
+// finish merges the remaining runs through the parallel binary merge tree
+// and returns the fully merged result.
 func (s *runStack[K]) finish() []K {
 	s.cfg.Recorder.Enter(metrics.Merge)
-	acc := sortutil.MergeKLoser(s.stack, s.ops.Less)
+	acc := psort.MergeK(psort.BinaryTreeMerge, s.stack, s.ops.Less, s.threads)
 	if model := s.c.Model(); model != nil && len(s.stack) > 1 {
-		s.c.Clock().Advance(model.MergeCost(int(float64(len(acc))*s.cfg.scale()), len(s.stack)))
+		s.c.Clock().Advance(model.Threaded(model.MergeCost(int(float64(len(acc))*s.cfg.scale()), len(s.stack)), s.threads))
 	}
 	s.stack = nil
 	return acc

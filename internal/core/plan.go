@@ -69,7 +69,7 @@ func MakePlan[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) (Plan
 	tol := int64(cfg.Epsilon * float64(totalN) / (2 * float64(p)))
 
 	splitters, iters := FindSplitters(c, sorted, ops, targets, tol, cfg)
-	cuts := ComputeCuts(c, sorted, ops, splitters, targets)
+	cuts := ComputeCuts(c, sorted, ops, splitters, targets, cfg)
 	counts := make([]int, p)
 	for d := 0; d < p; d++ {
 		counts[d] = cuts[d+1] - cuts[d]

@@ -46,14 +46,19 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 	model := c.Model()
 	scale := cfg.scale()
 	rec := cfg.Recorder
+	threads := cfg.threads()
 
-	// Superstep 1: Local Sort.
+	// Superstep 1: Local Sort, through the kernel dispatch.  The arena is
+	// this rank's scratch for the whole run: the Local Merge superstep
+	// reuses the same buffers.
 	rec.Enter(metrics.LocalSort)
+	ar := &sortutil.Arena[K]{}
 	sorted := make([]K, len(local))
 	copy(sorted, local)
-	sortutil.Sort(sorted, ops.Less)
+	kernel, passes := LocalSortKernel(sorted, ops, cfg.Kernel, threads, ar)
+	rec.SetLocalSort(kernel, threads)
 	if model != nil {
-		c.Clock().Advance(model.SortCost(int(float64(len(sorted)) * scale)))
+		c.Clock().Advance(LocalSortCost(model, kernel, int(float64(len(sorted))*scale), passes, threads))
 	}
 	if p == 1 {
 		rec.Finish()
@@ -80,9 +85,9 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 	// Superstep 3: Data Exchange (permutation matrix + ALLTOALLV).
 	rec.Enter(metrics.Other)
-	cuts := ComputeCuts(c, sorted, ops, splitters, targets)
+	cuts := ComputeCuts(c, sorted, ops, splitters, targets, cfg)
 	rec.Enter(metrics.Exchange)
-	out := ExchangeAndMerge(c, sorted, ops, cuts, cfg) // enters Merge internally
+	out := ExchangeAndMergeArena(c, sorted, ops, cuts, cfg, ar) // enters Merge internally
 	rec.Finish()
 	return out, nil
 }

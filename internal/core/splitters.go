@@ -3,6 +3,7 @@ package core
 import (
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/psort"
 	"dhsort/internal/sortutil"
 	"dhsort/internal/xmath"
 )
@@ -102,18 +103,20 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 
 		// Local histogram: lower/upper bounds of each candidate by
 		// binary search in the locally sorted partition (Alg. 3 line 7).
-		hist = hist[:0]
+		// The searches are independent reads, so they fork across the
+		// thread budget.
+		hist = append(hist[:0], make([]int64, 2*len(active))...)
 		mids := make([]K, len(active))
-		for ai, i := range active {
-			st := &states[i]
+		workers := searchWorkers(cfg.threads(), len(active), len(sorted))
+		psort.ParallelFor(len(active), workers, func(ai int) {
+			st := &states[active[ai]]
 			mid := ops.FromBits(st.lo.Avg(st.hi))
 			mids[ai] = mid
-			l := int64(sortutil.LowerBound(sorted, mid, ops.Less))
-			u := int64(sortutil.UpperBound(sorted, mid, ops.Less))
-			hist = append(hist, l, u)
-		}
+			hist[2*ai] = int64(sortutil.LowerBound(sorted, mid, ops.Less))
+			hist[2*ai+1] = int64(sortutil.UpperBound(sorted, mid, ops.Less))
+		})
 		if model != nil {
-			c.Clock().Advance(model.SearchCost(len(sorted), 2*len(active)))
+			c.Clock().Advance(model.Threaded(model.SearchCost(len(sorted), 2*len(active)), workers))
 		}
 
 		// Global histogram: one ALLREDUCE (Alg. 3 line 8).

@@ -15,11 +15,14 @@
 package hss
 
 import (
+	"runtime"
+
 	"dhsort/internal/comm"
 	"dhsort/internal/core"
 	"dhsort/internal/keys"
 	"dhsort/internal/metrics"
 	"dhsort/internal/prng"
+	"dhsort/internal/psort"
 	"dhsort/internal/sortutil"
 	"dhsort/internal/xmath"
 )
@@ -48,6 +51,10 @@ type Config struct {
 	Exchange comm.AlltoallAlgorithm
 	// VirtualScale prices bulk data at a multiple of its real size.
 	VirtualScale float64
+	// Threads is the intra-rank worker budget of the compute supersteps
+	// (see core.Config.Threads).  Zero means runtime.GOMAXPROCS(0); set 1
+	// for reproducible virtual clocks.
+	Threads int
 	// Recorder receives phase timings and iteration counts.
 	Recorder *metrics.Recorder
 }
@@ -71,8 +78,17 @@ func (cfg Config) coreCfg() core.Config {
 		Epsilon:      cfg.Epsilon,
 		Exchange:     cfg.Exchange,
 		VirtualScale: cfg.VirtualScale,
+		Threads:      cfg.Threads,
 		Recorder:     cfg.Recorder,
 	}
+}
+
+// threads returns the effective intra-rank worker budget.
+func (cfg Config) threads() int {
+	if cfg.Threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return cfg.Threads
 }
 
 // Sort sorts the distributed sequence collectively and returns this rank's
@@ -99,12 +115,18 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		scale = cfg.VirtualScale
 	}
 
+	// Local Sort runs through the same kernel dispatch as core (radix for
+	// fixed-width keys, fork-join merge sort for comparison keys with a
+	// thread budget, introsort otherwise).
 	rec.Enter(metrics.LocalSort)
+	threads := cfg.threads()
+	ar := &sortutil.Arena[K]{}
 	sorted := make([]K, len(local))
 	copy(sorted, local)
-	sortutil.Sort(sorted, ops.Less)
+	kernel, passes := core.LocalSort(sorted, ops, threads, ar)
+	rec.SetLocalSort(kernel, threads)
 	if model != nil {
-		c.Clock().Advance(model.SortCost(int(float64(len(sorted)) * scale)))
+		c.Clock().Advance(core.LocalSortCost(model, kernel, int(float64(len(sorted))*scale), passes, threads))
 	}
 	if p == 1 {
 		rec.Finish()
@@ -128,9 +150,9 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 	splitters := FindSplittersSampled(c, sorted, ops, targets, tol, cfg)
 
 	rec.Enter(metrics.Other)
-	cuts := core.ComputeCuts(c, sorted, ops, splitters, targets)
+	cuts := core.ComputeCuts(c, sorted, ops, splitters, targets, cfg.coreCfg())
 	rec.Enter(metrics.Exchange)
-	out := core.ExchangeAndMerge(c, sorted, ops, cuts, cfg.coreCfg())
+	out := core.ExchangeAndMergeArena(c, sorted, ops, cuts, cfg.coreCfg(), ar)
 	rec.Finish()
 	return out, nil
 }
@@ -240,14 +262,22 @@ func FindSplittersSampled[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targ
 		}
 		cfg.Recorder.AddIteration()
 
-		hist = hist[:0]
-		for _, i := range active {
-			l := int64(sortutil.LowerBound(sorted, states[i].probe, ops.Less))
-			u := int64(sortutil.UpperBound(sorted, states[i].probe, ops.Less))
-			hist = append(hist, l, u)
+		// The per-probe searches are independent reads of the sorted
+		// partition; fork them across the thread budget like core does.
+		hist = append(hist[:0], make([]int64, 2*len(active))...)
+		workers := 1
+		if t := cfg.threads(); t > 1 && len(active) >= 2 && len(sorted) >= 4096 {
+			workers = t
+			if workers > len(active) {
+				workers = len(active)
+			}
 		}
+		psort.ParallelFor(len(active), workers, func(ai int) {
+			hist[2*ai] = int64(sortutil.LowerBound(sorted, states[active[ai]].probe, ops.Less))
+			hist[2*ai+1] = int64(sortutil.UpperBound(sorted, states[active[ai]].probe, ops.Less))
+		})
 		if model != nil {
-			c.Clock().Advance(model.SearchCost(len(sorted), 2*len(active)))
+			c.Clock().Advance(model.Threaded(model.SearchCost(len(sorted), 2*len(active)), workers))
 		}
 		global := comm.Allreduce(c, hist, func(a, b int64) int64 { return a + b })
 

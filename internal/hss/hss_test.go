@@ -1,6 +1,7 @@
 package hss
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -173,4 +174,27 @@ func TestHSSForceUniqueStillSorts(t *testing.T) {
 	spec := workload.Spec{Dist: workload.DuplicateHeavy, Seed: 25, Span: 1e9}
 	ins, outs := runIt(t, 5, 300, spec, Config{Seed: 3, ForceUnique: true}, nil)
 	checkOutput(t, ins, outs, true)
+}
+
+// TestHSSThreadsBitIdentical: raising the intra-rank thread budget must not
+// change a single output element — parallel local kernels and splitter
+// searches are exact, not approximate.
+func TestHSSThreadsBitIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	spec := workload.Spec{Dist: workload.Zipf, Seed: 41, Span: 1e6}
+	_, base := runIt(t, 8, 1200, spec, Config{Seed: 7, Threads: 1}, nil)
+	for _, threads := range []int{3, 8} {
+		_, outs := runIt(t, 8, 1200, spec, Config{Seed: 7, Threads: threads}, nil)
+		for r := range base {
+			if len(outs[r]) != len(base[r]) {
+				t.Fatalf("threads=%d: rank %d holds %d keys, want %d", threads, r, len(outs[r]), len(base[r]))
+			}
+			for i := range base[r] {
+				if outs[r][i] != base[r][i] {
+					t.Fatalf("threads=%d: rank %d diverges at index %d", threads, r, i)
+				}
+			}
+		}
+	}
 }

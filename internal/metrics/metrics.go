@@ -89,6 +89,12 @@ type Recorder struct {
 	// differ from the requested one (e.g. hierarchical silently degrades
 	// to one-factor without node topology).
 	ExchangeAlg string
+	// LocalSortKernel names the Local Sort kernel the run dispatched to
+	// ("radix", "task-merge", "introsort"; empty when not recorded).
+	LocalSortKernel string
+	// Threads is the intra-rank worker budget the compute kernels ran
+	// with (0 when not recorded).
+	Threads int
 }
 
 // NewRecorder returns a recorder ticking on clock and attributing the
@@ -163,6 +169,15 @@ func (r *Recorder) SetExchangeAlg(alg string) {
 	}
 }
 
+// SetLocalSort records the Local Sort kernel the dispatch chose and the
+// intra-rank thread budget the compute supersteps ran with.
+func (r *Recorder) SetLocalSort(kernel string, threads int) {
+	if r != nil {
+		r.LocalSortKernel = kernel
+		r.Threads = threads
+	}
+}
+
 // Total returns the summed phase times.
 func (r *Recorder) Total() time.Duration {
 	var t time.Duration
@@ -197,6 +212,12 @@ type Summary struct {
 	// ExchangeAlg is the effective data-exchange algorithm (identical on
 	// every rank; empty when the run did not record one).
 	ExchangeAlg string
+	// LocalSortKernel is the Local Sort kernel dispatch choice (identical
+	// on every rank; empty when the run did not record one).
+	LocalSortKernel string
+	// Threads is the intra-rank worker budget (identical on every rank;
+	// 0 when the run did not record one).
+	Threads int
 }
 
 // Summarize aggregates per-rank recorders (nil entries are skipped).
@@ -234,6 +255,12 @@ func Summarize(recs []*Recorder) Summary {
 		s.ExchangedBytes += r.ExchangedBytes
 		if s.ExchangeAlg == "" {
 			s.ExchangeAlg = r.ExchangeAlg
+		}
+		if s.LocalSortKernel == "" {
+			s.LocalSortKernel = r.LocalSortKernel
+		}
+		if s.Threads == 0 {
+			s.Threads = r.Threads
 		}
 	}
 	if s.Ranks > 0 {

@@ -126,6 +126,14 @@ type Record struct {
 	// what actually ran, e.g. "one-factor" when hierarchical silently
 	// degraded without node topology, or "rma-put" for the one-sided path.
 	Exchange string `json:"exchange,omitempty"`
+	// LocalSortKernel names the Local Sort kernel the dispatch chose
+	// ("radix", "task-merge", "introsort").  OPTIONAL: omitted when the
+	// run did not record one, so pre-existing documents stay
+	// byte-identical (the same additive pattern as Exchange).
+	LocalSortKernel string `json:"local_sort_kernel,omitempty"`
+	// Threads is the intra-rank worker budget of the compute supersteps.
+	// OPTIONAL: omitted when unrecorded.
+	Threads int `json:"threads,omitempty"`
 	// Phases holds the per-superstep breakdown of the first repetition,
 	// keyed by phase name (LocalSort, Histogram, Exchange, Merge, Other).
 	Phases map[string]PhaseStat `json:"phases"`
@@ -174,16 +182,18 @@ func NewRecord(algorithm string, p, perRank int, workload string, makespans []ti
 		phases[ph.String()] = st
 	}
 	return Record{
-		Algorithm:  algorithm,
-		P:          p,
-		PerRank:    perRank,
-		Workload:   workload,
-		Reps:       len(makespans),
-		Makespan:   NewDurationStat(makespans),
-		Iterations: s.MaxIterations,
-		Imbalance:  Imbalance{Time: round3(s.TimeImbalance), Output: round3(s.OutputImbalance)},
-		Exchange:   s.ExchangeAlg,
-		Phases:     phases,
+		Algorithm:       algorithm,
+		P:               p,
+		PerRank:         perRank,
+		Workload:        workload,
+		Reps:            len(makespans),
+		Makespan:        NewDurationStat(makespans),
+		Iterations:      s.MaxIterations,
+		Imbalance:       Imbalance{Time: round3(s.TimeImbalance), Output: round3(s.OutputImbalance)},
+		Exchange:        s.ExchangeAlg,
+		LocalSortKernel: s.LocalSortKernel,
+		Threads:         s.Threads,
+		Phases:          phases,
 		Totals: Totals{
 			Links:          linkMap(s.TotalLinks()),
 			ExchangedBytes: s.ExchangedBytes,

@@ -19,20 +19,24 @@ const goldenPath = "testdata/golden_v1.json"
 // for byte.  Any schema change shows up as a golden diff and forces a
 // deliberate decision (and, for incompatible changes, a version bump).
 // goldenDoc is the baseline plus one record exercising the optional
-// one-sided fields (exchange, puts/put_bytes/notifies), so the golden file
-// pins both layouts: records without RMA traffic keep the original byte
-// layout (omitempty), records with it round-trip the new counters.
+// one-sided fields (exchange, puts/put_bytes/notifies) and the kernel
+// fields (local_sort_kernel, threads), so the golden file pins both
+// layouts: records without RMA traffic or kernel dispatch keep the
+// original byte layout (omitempty), records with them round-trip the new
+// counters.
 func goldenDoc() Document {
 	d := baselineDoc(1.0)
 	d.Records = append(d.Records, Record{
-		Algorithm: "dhsort-rma",
-		P:         16,
-		PerRank:   4096,
-		Workload:  "uniform",
-		Reps:      3,
-		Makespan:  DurationStat{MeanNS: 9_000_000, MinNS: 8_500_000, MaxNS: 9_500_000},
-		Imbalance: Imbalance{Time: 1.01, Output: 1},
-		Exchange:  "rma-put",
+		Algorithm:       "dhsort-rma",
+		P:               16,
+		PerRank:         4096,
+		Workload:        "uniform",
+		Reps:            3,
+		Makespan:        DurationStat{MeanNS: 9_000_000, MinNS: 8_500_000, MaxNS: 9_500_000},
+		Imbalance:       Imbalance{Time: 1.01, Output: 1},
+		Exchange:        "rma-put",
+		LocalSortKernel: "radix",
+		Threads:         2,
 		Phases: map[string]PhaseStat{
 			"Exchange": {MeanNS: 2_500_000, MaxNS: 2_800_000,
 				Links: map[string]LinkStat{"same-numa": {Puts: 240, PutBytes: 2_000_000, Notifies: 240}}},

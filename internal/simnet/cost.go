@@ -30,6 +30,14 @@ type CostModel struct {
 	// ScanNs is the per-element cost of linear passes (partitioning,
 	// histogram counting, permutation application).
 	ScanNs float64
+	// RadixNs is the per-element per-executed-pass cost of the LSD radix
+	// kernel (fused counting + scatter pipeline); zero falls back to
+	// comparison-sort pricing so hand-built models stay valid.
+	RadixNs float64
+	// ThreadEff is the marginal efficiency of each additional fork-join
+	// worker in the shared-memory kernels (1 = perfect scaling, 0 = no
+	// speedup from threads) — the imperfect intra-node scaling of Fig. 4.
+	ThreadEff float64
 	// MemGBps is local memory copy bandwidth in bytes/ns.
 	MemGBps float64
 	// SendOverhead is the sender-side CPU cost per message (the "o" of
@@ -49,6 +57,8 @@ func SuperMUC(ranksPerNode int, pgas bool) *CostModel {
 		CompareNs:    3.0,
 		MergeNs:      1.6,
 		ScanNs:       0.8,
+		RadixNs:      1.5,
+		ThreadEff:    0.85,
 		MemGBps:      8.0,
 		SendOverhead: 500 * time.Nanosecond,
 	}
@@ -174,6 +184,33 @@ func (m *CostModel) SortCost(n int) time.Duration {
 		return 0
 	}
 	return time.Duration(m.CompareNs * float64(n) * math.Log2(float64(n)))
+}
+
+// RadixSortCost prices an LSD radix sort of n keys that executed the given
+// number of scatter passes (constant digits are skipped, so the pass count
+// is data-dependent but deterministic).  Models without a calibrated
+// RadixNs price it as the comparison sort they were built for.
+func (m *CostModel) RadixSortCost(n, passes int) time.Duration {
+	if n < 2 {
+		return 0
+	}
+	if m.RadixNs == 0 {
+		return m.SortCost(n)
+	}
+	if passes < 1 {
+		passes = 1
+	}
+	return time.Duration(m.RadixNs * float64(n) * float64(passes))
+}
+
+// Threaded scales a compute cost by the fork-join speedup of `threads`
+// workers, 1 + ThreadEff·(threads−1).  With ThreadEff zero (uncalibrated
+// models) or a single thread the cost is unchanged.
+func (m *CostModel) Threaded(d time.Duration, threads int) time.Duration {
+	if threads <= 1 || m.ThreadEff == 0 {
+		return d
+	}
+	return time.Duration(float64(d) / (1 + m.ThreadEff*float64(threads-1)))
 }
 
 // MergeCost prices merging n keys from k sorted runs (n · log2 k element

@@ -1,0 +1,41 @@
+package sortutil
+
+// Arena is a reusable per-rank scratch allocation for the hot sort path.
+// The compute supersteps (Local Sort, Local Merge) each need an n-element
+// element buffer and, for radix dispatch, an n-element cached-key buffer;
+// an Arena lets one rank pay those allocations once per run instead of
+// once per kernel call.  The zero value is ready to use.  An Arena is not
+// safe for concurrent use; each rank goroutine owns its own.
+type Arena[T any] struct {
+	vals []T
+	keys []uint64
+}
+
+// Vals returns a scratch element buffer of length n, growing the backing
+// store when needed.  The contents are unspecified.  Nil receivers get a
+// fresh allocation, so callers can thread an optional arena without
+// nil-checking.
+func (ar *Arena[T]) Vals(n int) []T {
+	if ar == nil {
+		return make([]T, n)
+	}
+	if cap(ar.vals) < n {
+		ar.vals = make([]T, n)
+	}
+	ar.vals = ar.vals[:n]
+	return ar.vals
+}
+
+// Keys returns a scratch uint64 buffer of length n for cached radix key
+// images, growing the backing store when needed.  Nil receivers get a
+// fresh allocation.
+func (ar *Arena[T]) Keys(n int) []uint64 {
+	if ar == nil {
+		return make([]uint64, n)
+	}
+	if cap(ar.keys) < n {
+		ar.keys = make([]uint64, n)
+	}
+	ar.keys = ar.keys[:n]
+	return ar.keys
+}

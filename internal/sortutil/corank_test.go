@@ -1,0 +1,112 @@
+package sortutil
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dhsort/internal/prng"
+)
+
+// checkCoRank verifies the merge-path invariant for one (a, b, k): the split
+// consumes exactly k elements and every element left of the diagonal orders
+// no later than every element right of it, with ties taken from a (the
+// stability MergeInto implements).
+func checkCoRank(t *testing.T, a, b []uint64, k int) {
+	t.Helper()
+	less := func(x, y uint64) bool { return x < y }
+	i, j := CoRank(a, b, k, less)
+	if i+j != k {
+		t.Fatalf("CoRank(%d): i+j = %d+%d != k", k, i, j)
+	}
+	if i < 0 || i > len(a) || j < 0 || j > len(b) {
+		t.Fatalf("CoRank(%d): split (%d,%d) out of range", k, i, j)
+	}
+	// a[i-1] must be allowed before b[j:], b[j-1] strictly before a[i:].
+	if i > 0 && j < len(b) && less(b[j], a[i-1]) {
+		t.Fatalf("CoRank(%d): a[%d]=%d belongs after b[%d]=%d", k, i-1, a[i-1], j, b[j])
+	}
+	if j > 0 && i < len(a) && !less(b[j-1], a[i]) {
+		t.Fatalf("CoRank(%d): b[%d]=%d must come strictly before a[%d]=%d", k, j-1, b[j-1], i, a[i])
+	}
+}
+
+func TestCoRankExhaustiveSmall(t *testing.T) {
+	cases := [][2][]uint64{
+		{{}, {}},
+		{{1}, {}},
+		{{}, {1}},
+		{{1, 3, 5}, {2, 4, 6}},
+		{{1, 1, 1}, {1, 1}},
+		{{1, 2, 3}, {4, 5, 6}},
+		{{4, 5, 6}, {1, 2, 3}},
+		{{5}, {1, 2, 3, 4, 6, 7}},
+	}
+	for _, c := range cases {
+		a, b := c[0], c[1]
+		for k := 0; k <= len(a)+len(b); k++ {
+			checkCoRank(t, a, b, k)
+		}
+	}
+}
+
+func TestCoRankRandom(t *testing.T) {
+	src := prng.NewXoshiro256(99)
+	for iter := 0; iter < 200; iter++ {
+		na := int(prng.Uint64n(src, 50))
+		nb := int(prng.Uint64n(src, 50))
+		a := make([]uint64, na)
+		b := make([]uint64, nb)
+		for i := range a {
+			a[i] = prng.Uint64n(src, 30) // heavy duplicates across both runs
+		}
+		for i := range b {
+			b[i] = prng.Uint64n(src, 30)
+		}
+		less := func(x, y uint64) bool { return x < y }
+		Sort(a, less)
+		Sort(b, less)
+		for k := 0; k <= na+nb; k++ {
+			checkCoRank(t, a, b, k)
+		}
+	}
+}
+
+// TestCoRankSegmentsComposeToMerge: merging the CoRank segments of any
+// diagonal decomposition must reproduce the sequential two-way merge —
+// the property the psort parallel merge is built on.
+func TestCoRankSegmentsComposeToMerge(t *testing.T) {
+	check := func(rawA, rawB []uint64, parts uint8) bool {
+		less := func(x, y uint64) bool { return x < y }
+		a := append([]uint64(nil), rawA...)
+		b := append([]uint64(nil), rawB...)
+		for i := range a {
+			a[i] %= 16
+		}
+		for i := range b {
+			b[i] %= 16
+		}
+		Sort(a, less)
+		Sort(b, less)
+		n := len(a) + len(b)
+		want := make([]uint64, n)
+		MergeInto(want, a, b, less)
+		got := make([]uint64, n)
+		p := int(parts%7) + 1
+		pi, pj := 0, 0
+		for s := 1; s <= p; s++ {
+			k := s * n / p
+			i, j := CoRank(a, b, k, less)
+			MergeInto(got[pi+pj:i+j], a[pi:i], b[pj:j], less)
+			pi, pj = i, j
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

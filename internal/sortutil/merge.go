@@ -3,8 +3,38 @@ package sortutil
 // Merge returns a new sorted slice containing all elements of sorted a and b.
 func Merge[T any](a, b []T, less func(a, b T) bool) []T {
 	out := make([]T, len(a)+len(b))
-	mergeInto(out, a, b, less)
+	MergeInto(out, a, b, less)
 	return out
+}
+
+// CoRank returns the split (i, j) with i+j == k such that the first k
+// elements of the stable merge of sorted a and b (ties taken from a, as
+// MergeInto produces) are exactly the merge of a[:i] and b[:j].  It is the
+// merge-path binary search that lets a pairwise merge be cut into
+// independent equal-size output segments (§V-C "all pairwise merges can be
+// performed in parallel").  O(log min(k, len(a))) comparisons.
+func CoRank[T any](a, b []T, k int, less func(a, b T) bool) (int, int) {
+	lo, hi := k-len(b), k
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for {
+		i := int(uint(lo+hi) >> 1)
+		j := k - i
+		switch {
+		case i > 0 && j < len(b) && less(b[j], a[i-1]):
+			// a[i-1] would be emitted after b[j]: i is too large.
+			hi = i - 1
+		case j > 0 && i < len(a) && !less(b[j-1], a[i]):
+			// b[j-1] would be emitted after a[i] (ties go to a): i too small.
+			lo = i + 1
+		default:
+			return i, j
+		}
+	}
 }
 
 // MergeKBinary merges k sorted chunks with a binary merge tree: pairwise

@@ -164,15 +164,17 @@ func StableSort[T any](a []T, less func(a, b T) bool) {
 			}
 			if less(a[mid], a[mid-1]) {
 				buf = append(buf[:0], a[lo:mid]...)
-				mergeInto(a[lo:hi], buf, a[mid:hi], less)
+				MergeInto(a[lo:hi], buf, a[mid:hi], less)
 			}
 		}
 	}
 }
 
-// mergeInto merges sorted left and right into dst (len(dst) ==
-// len(left)+len(right)); right may alias the tail of dst.
-func mergeInto[T any](dst, left, right []T, less func(a, b T) bool) {
+// MergeInto merges sorted left and right into dst (len(dst) ==
+// len(left)+len(right)), stably: ties are taken from left.  right may alias
+// the tail of dst.  This is the single two-way merge kernel shared by
+// StableSort, Merge, and the psort fork-join merges.
+func MergeInto[T any](dst, left, right []T, less func(a, b T) bool) {
 	i, j, k := 0, 0, 0
 	for i < len(left) && j < len(right) {
 		if less(right[j], left[i]) {
