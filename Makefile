@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange bench-local
+.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault
 
 ci:
 	./ci.sh
@@ -9,7 +9,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss
+	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault
 
 # Tiny deterministic grid for CI; artifact uploaded by the workflow.  The
 # second run engages the parallel intra-rank kernels (-threads 2).
@@ -35,3 +35,8 @@ bench-exchange:
 # vs fork-join task merge sort, plus the core.LocalSort dispatch table.
 bench-local:
 	go run ./cmd/bench -exp local
+
+# Resilience ablation (extension, no paper figure): degradation curve of
+# modelled makespan under seeded fault schedules (drop rate x crashes).
+bench-fault:
+	go run ./cmd/bench -exp fault

@@ -11,9 +11,10 @@ set -eu
 
 # Race-sensitive packages: the message-passing substrate, the one-sided RMA
 # windows (cross-goroutine direct memory writes), the shared-memory parallel
-# sort, the intra-rank kernels (fork-join merges, radix scratch reuse), and
-# the algorithms that drive them.
-RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss"
+# sort, the intra-rank kernels (fork-join merges, radix scratch reuse), the
+# fault-injection plane (adjudicated on sender goroutines, deduplicated on
+# receiver goroutines), and the algorithms that drive them.
+RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault"
 
 echo "== gofmt"
 fmt_out=$(gofmt -l .)
@@ -36,6 +37,9 @@ echo "== go test -race ($RACE_PKGS)"
 go test -race $RACE_PKGS
 
 if [ "${1:-}" = "bench" ]; then
+    echo "== fault smoke (seeded drop schedule must still sort correctly)"
+    go run ./cmd/dhsort -p 16 -n 65536 -model pgas -fault drop=0.01,seed=7 > /dev/null
+
     echo "== bench smoke (BENCH_ci.json)"
     go run ./cmd/bench -json BENCH_ci.json -smoke
     # Same grid with the parallel intra-rank kernels engaged: exercises the

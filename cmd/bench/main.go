@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dhsort/internal/bench"
+	"dhsort/internal/fault"
 	"dhsort/internal/metrics"
 )
 
@@ -40,8 +41,15 @@ func main() {
 		compare   = flag.String("compare", "", "baseline JSON document to diff against (regression gate)")
 		with      = flag.String("with", "", "with -compare: diff this existing document instead of running the suite")
 		threshold = flag.Float64("threshold", metrics.DefaultThreshold, "relative growth counting as a regression")
+		fspec     = flag.String("fault", "", "seeded fault schedule applied to the metrics suite (and as an extra row of the fault experiment), e.g. drop=0.01,seed=7")
 	)
 	flag.Parse()
+
+	plan, err := fault.Parse(*fspec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments {
@@ -51,10 +59,10 @@ func main() {
 	}
 
 	if *jsonOut != "" || *compare != "" {
-		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threads, *threshold))
+		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threads, *threshold, plan))
 	}
 
-	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed, Threads: *threads}
+	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed, Threads: *threads, Fault: plan}
 	run := func(e bench.Experiment) {
 		fmt.Printf("=== %s: %s\n", e.Name, e.Description)
 		start := time.Now()
@@ -81,7 +89,7 @@ func main() {
 
 // metricsMode runs the JSON suite and/or the regression gate; the return
 // value is the process exit status (0 ok, 1 error, 3 regression).
-func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threads int, threshold float64) int {
+func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threads int, threshold float64, plan fault.Plan) int {
 	var doc metrics.Document
 	switch {
 	case with != "":
@@ -98,7 +106,7 @@ func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint6
 	default:
 		fmt.Printf("=== metrics suite (%s grid)\n", map[bool]string{true: "smoke", false: "full"}[smoke])
 		start := time.Now()
-		d, err := bench.RunSuite(bench.SuiteOptions{Smoke: smoke, Reps: reps, Seed: seed, Threads: threads, Progress: os.Stdout})
+		d, err := bench.RunSuite(bench.SuiteOptions{Smoke: smoke, Reps: reps, Seed: seed, Threads: threads, Progress: os.Stdout, Fault: plan})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			return 1

@@ -17,6 +17,7 @@ import (
 	"dhsort"
 	"dhsort/internal/bitonic"
 	"dhsort/internal/comm"
+	"dhsort/internal/fault"
 	"dhsort/internal/hss"
 	"dhsort/internal/hyksort"
 	"dhsort/internal/keys"
@@ -42,6 +43,7 @@ func main() {
 		scale = flag.Float64("scale", 1, "virtual data-scale multiplier (with a cost model)")
 		thr   = flag.Int("threads", 0, "intra-rank worker budget for dhsort/hss compute kernels (0 = GOMAXPROCS; set 1 for reproducible virtual clocks)")
 		kern  = flag.String("kernel", "", "force the dhsort Local Sort kernel: radix|task-merge|introsort (empty = dispatch by key type)")
+		fspec = flag.String("fault", "", "seeded fault schedule, e.g. drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us (empty = fault-free)")
 	)
 	flag.Parse()
 
@@ -89,7 +91,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	w, err := comm.NewWorld(*p, m)
+	plan, err := fault.Parse(*fspec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhsort:", err)
+		os.Exit(2)
+	}
+	w, err := comm.NewWorldWithFaults(*p, m, plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhsort:", err)
 		os.Exit(1)
@@ -194,6 +201,18 @@ func main() {
 			fmt.Printf("  %-10s %8d puts  %8.2f MiB  %8d notifies\n",
 				lc, st.Puts[lc], float64(st.PutBytes[lc])/(1<<20), st.Notifies[lc])
 		}
+	}
+	if plan.Enabled() {
+		f := st.Fault
+		fmt.Printf("fault plane (%s):\n", plan)
+		fmt.Printf("  injected:   %d drops, %d dups, %d delays, %d reorders\n",
+			f.Drops, f.Dups, f.Delays, f.Reorders)
+		fmt.Printf("  resilience: %d retries (%v waited), %d dedup hits\n",
+			f.Retries, time.Duration(f.RetryNS).Round(time.Microsecond), f.Dedup)
+		fmt.Printf("  checkpoint: %d checkpoints (%.2f MiB), %d recoveries (%v), %d stalls (%v)\n",
+			s.Fault.Checkpoints, float64(s.Fault.CheckpointBytes)/(1<<20),
+			s.Fault.Recoveries, time.Duration(s.Fault.RecoveryNS).Round(time.Microsecond),
+			s.Fault.Stalls, time.Duration(s.Fault.StallNS).Round(time.Microsecond))
 	}
 	if verified {
 		fmt.Println("verification: globally sorted, partition sizes OK")

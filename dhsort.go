@@ -33,6 +33,7 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/core"
+	"dhsort/internal/fault"
 	"dhsort/internal/garray"
 	"dhsort/internal/keys"
 	"dhsort/internal/metrics"
@@ -120,12 +121,36 @@ var (
 	StringOps = keys.String{}
 )
 
+// FaultPlan is a deterministic seeded failure schedule for resilience
+// testing: message drop/duplication/delay/reorder rates plus rank crashes
+// and stalls pinned to superstep boundaries.  The zero value injects
+// nothing.  See ParseFaultPlan for the textual syntax.
+type FaultPlan = fault.Plan
+
+// ParseFaultPlan parses the -fault CLI syntax, e.g.
+// "drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us".
+func ParseFaultPlan(spec string) (FaultPlan, error) {
+	return fault.Parse(spec)
+}
+
 // Run executes fn once per rank on a fresh world of p ranks and waits for
 // completion.  model selects virtual-time execution (nil = real time).
 // Errors and panics from any rank abort the world and are joined into the
 // returned error.
 func Run(p int, model *CostModel, fn func(c *Comm) error) error {
 	w, err := comm.NewWorld(p, model)
+	if err != nil {
+		return err
+	}
+	return w.Run(fn)
+}
+
+// RunWithFaults is Run under a seeded fault schedule: the world's links
+// inject the plan's failures deterministically and the communication layer
+// rides them out with retries, dedup and superstep checkpoint-recovery, so
+// fn must still observe a correct sort.  A zero plan is exactly Run.
+func RunWithFaults(p int, model *CostModel, plan FaultPlan, fn func(c *Comm) error) error {
+	w, err := comm.NewWorldWithFaults(p, model, plan)
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ import (
 	"dhsort/internal/bitonic"
 	"dhsort/internal/comm"
 	"dhsort/internal/core"
+	"dhsort/internal/fault"
 	"dhsort/internal/hss"
 	"dhsort/internal/hyksort"
 	"dhsort/internal/keys"
@@ -47,6 +48,10 @@ type Options struct {
 	// the budget rather than inherit GOMAXPROCS so virtual-clock tables
 	// are identical on every machine.
 	Threads int
+	// Fault is a seeded failure schedule (zero = fault-free).  The fault
+	// experiment runs it as an extra measured row on top of its built-in
+	// degradation grid; other text experiments ignore it.
+	Fault fault.Plan
 }
 
 func (o Options) reps() int {
@@ -88,6 +93,7 @@ var Experiments = []Experiment{
 	{"exchange", "ablation — two-sided ALLTOALLV vs fused overlap vs one-sided RMA put", ExchangeStudy},
 	{"collectives", "micro — modelled collective latencies vs rank count", Collectives},
 	{"splitters", "ablation — splitter strategies: histogram vs sampled vs selection", Splitters},
+	{"fault", "extension — resilience degradation under seeded fault schedules (drop rate × crashes)", FaultStudy},
 }
 
 // Find returns the experiment with the given name.
@@ -165,7 +171,13 @@ type point struct {
 // runOnce executes one distributed sort under the model and verifies the
 // output invariant.
 func runOnce(s sorter, p, perRank int, model *simnet.CostModel, scale float64, spec workload.Spec) (point, error) {
-	w, err := comm.NewWorld(p, model)
+	return runOnceFaults(s, p, perRank, model, scale, spec, fault.Plan{})
+}
+
+// runOnceFaults is runOnce under a seeded fault schedule: the sort must
+// survive the injected failures and still satisfy the output invariant.
+func runOnceFaults(s sorter, p, perRank int, model *simnet.CostModel, scale float64, spec workload.Spec, plan fault.Plan) (point, error) {
+	w, err := comm.NewWorldWithFaults(p, model, plan)
 	if err != nil {
 		return point{}, err
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"dhsort/internal/fault"
 	"dhsort/internal/metrics"
 	"dhsort/internal/simnet"
 	"dhsort/internal/workload"
@@ -26,6 +27,12 @@ type SuiteOptions struct {
 	Threads int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
+	// Fault is a seeded failure schedule applied to every measured world
+	// (zero = fault-free).  The schedule is recorded in the document's
+	// config and the records carry the fault block, so a faulty document
+	// is never silently compared against a fault-free baseline as if the
+	// conditions matched.
+	Fault fault.Plan
 }
 
 func (o SuiteOptions) reps() int {
@@ -89,6 +96,9 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 			Seed:         o.Seed,
 		},
 	}
+	if o.Fault.Enabled() {
+		doc.Config.Fault = o.Fault.String()
+	}
 	threads := o.threads()
 	sorters := []sorter{
 		dhsortSorter(threads), dhsortFusedSorter(threads), dhsortRMASorter(threads),
@@ -98,7 +108,7 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 		for _, p := range grid.ps {
 			for _, dist := range grid.workloads {
 				spec := workload.Spec{Dist: dist, Seed: o.Seed + uint64(p), Span: 1e9}
-				rec, err := measurePoint(s, p, grid.perRank, model, spec, reps)
+				rec, err := measurePoint(s, p, grid.perRank, model, spec, reps, o.Fault)
 				if err != nil {
 					return metrics.Document{}, fmt.Errorf("bench: suite point %s/p=%d/%s: %w", s.name, p, dist, err)
 				}
@@ -123,13 +133,13 @@ func suiteName(smoke bool) string {
 // measurePoint runs one configuration reps times and folds the runs into a
 // schema record: makespan stats over all reps, phase/link breakdown and
 // imbalance factors from the first rep (deterministic under the model).
-func measurePoint(s sorter, p, perRank int, model *simnet.CostModel, spec workload.Spec, reps int) (metrics.Record, error) {
+func measurePoint(s sorter, p, perRank int, model *simnet.CostModel, spec workload.Spec, reps int, plan fault.Plan) (metrics.Record, error) {
 	makespans := make([]time.Duration, 0, reps)
 	var summary metrics.Summary
 	for rep := 0; rep < reps; rep++ {
 		sp := spec
 		sp.Seed = spec.Seed + uint64(rep)*1000003
-		pt, err := runOnce(s, p, perRank, model, 1, sp)
+		pt, err := runOnceFaults(s, p, perRank, model, 1, sp, plan)
 		if err != nil {
 			return metrics.Record{}, err
 		}

@@ -1,10 +1,12 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"dhsort/internal/fault"
 	"dhsort/internal/simnet"
 )
 
@@ -23,7 +25,15 @@ type Comm struct {
 	seq       uint64 // per-rank collective sequence number (tag isolation)
 	splits    uint64 // number of Split calls issued on this comm
 	protoTags uint64 // protocol tags handed out by ReserveProtocolTag
+
+	// Reliable-transport state, active only under fault injection.
+	obs      fault.Observer      // fault-event sink (metrics recorder)
+	sendSeq  map[sendFlow]uint64 // next sequence number per (dst, tag) flow
+	faultTag int                 // lazily reserved fault-control protocol tag
 }
+
+// sendFlow identifies one outgoing sequenced flow of a communicator.
+type sendFlow struct{ dst, tag int }
 
 // newWorldComm builds rank's handle on the world communicator (id 1).
 func newWorldComm(w *World, rank int) *Comm {
@@ -72,6 +82,12 @@ func (c *Comm) send(dst, tag int, payload any, bytes int, byteScale float64) {
 	}
 	vbytes := int(float64(bytes) * byteScale)
 	wsrc, wdst := c.group[c.rank], c.group[dst]
+	if inj := c.w.inj; inj.MessageFaults() && wsrc != wdst {
+		// Self-delivery is a local memory move — real transports do not
+		// lose it, so the injector only adjudicates remote flows.
+		c.sendFaulty(inj, dst, tag, payload, vbytes, wsrc, wdst)
+		return
+	}
 	e := envelope{comm: c.id, src: c.rank, tag: tag, payload: payload}
 	if m := c.w.model; m != nil {
 		// LogGP-style: the sender is busy for o + bytes·G (injection,
@@ -86,13 +102,147 @@ func (c *Comm) send(dst, tag int, payload any, bytes int, byteScale float64) {
 	c.w.boxes[wdst].put(e)
 }
 
+// Retransmission policy of the reliable transport: attempts are capped so a
+// pathological schedule aborts with a diagnostic instead of looping, and the
+// exponential backoff stops doubling once the timeout is astronomically
+// larger than any sane RTT.
+const (
+	maxSendAttempts = 32
+	maxBackoffShift = 10
+)
+
+// sendFaulty is send's sequenced, retransmitting path, taken when the fault
+// plane injects message faults.  Each transmission attempt is adjudicated by
+// the injector; a dropped attempt costs the sender its injection time plus
+// an exponentially backed-off retransmission timeout on the virtual clock.
+// The delivered envelope carries a per-(dst, tag) sequence number, so the
+// receiving mailbox restores order and discards injected duplicates.
+func (c *Comm) sendFaulty(inj *fault.Injector, dst, tag int, payload any, vbytes, wsrc, wdst int) {
+	seq := c.nextSendSeq(dst, tag)
+	m := c.w.model
+	lc := simnet.SelfLink
+	if m != nil {
+		lc = m.Topo.Link(wsrc, wdst)
+	}
+	for attempt := 0; ; attempt++ {
+		v := inj.Verdict(c.id, wsrc, wdst, tag, seq, attempt)
+		if v.Drop {
+			if attempt+1 >= maxSendAttempts {
+				panic(fmt.Sprintf("comm: message (tag=%d, seq=%d) to world rank %d lost %d consecutive times: link presumed dead", tag, seq, wdst, maxSendAttempts))
+			}
+			c.stats.Fault.Drops++
+			c.stats.Fault.Retries++
+			var wait time.Duration
+			if m != nil {
+				// The lost attempt's injection was still paid, then the
+				// sender waits out the backed-off timeout before retrying.
+				shift := attempt
+				if shift > maxBackoffShift {
+					shift = maxBackoffShift
+				}
+				wait = m.SendOverhead + m.InjectCost(wsrc, wdst, vbytes) + m.RetryTimeout(lc)<<shift
+				c.clock.Advance(wait)
+				c.stats.Fault.RetryNS += int64(wait)
+			}
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("drop tag=%d seq=%d attempt=%d -> w%d", tag, seq, attempt, wdst)})
+			c.observe(fault.Event{Kind: fault.EventRetry, Detail: fmt.Sprintf("timeout+retransmit tag=%d seq=%d attempt=%d", tag, seq, attempt+1), Dur: wait})
+			continue
+		}
+		e := envelope{comm: c.id, src: c.rank, tag: tag, payload: payload, seq: seq, front: v.Reorder}
+		if m != nil {
+			c.clock.Advance(m.SendOverhead + m.InjectCost(wsrc, wdst, vbytes))
+			e.arrival = c.clock.Now() + m.Latency(wsrc, wdst) + v.Delay
+			c.stats.record(lc, vbytes)
+		} else {
+			c.stats.record(simnet.SelfLink, vbytes)
+		}
+		if v.Delay > 0 {
+			c.stats.Fault.Delays++
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("delay tag=%d seq=%d -> w%d", tag, seq, wdst), Dur: v.Delay})
+		}
+		if v.Reorder {
+			c.stats.Fault.Reorders++
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("reorder tag=%d seq=%d -> w%d", tag, seq, wdst)})
+		}
+		if v.Dup {
+			// A retransmission racing its own ack: the sender pays a second
+			// injection and the copy travels with the same sequence number,
+			// so the receiver's dedup discards it.  Original and copy are
+			// enqueued atomically (putPair), which keeps the receiver-side
+			// dedup counter deterministic.
+			c.stats.Fault.Dups++
+			d := e
+			if m != nil {
+				c.clock.Advance(m.SendOverhead + m.InjectCost(wsrc, wdst, vbytes))
+				d.arrival = c.clock.Now() + m.Latency(wsrc, wdst)
+				c.stats.record(lc, vbytes)
+			} else {
+				c.stats.record(simnet.SelfLink, vbytes)
+			}
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("dup tag=%d seq=%d -> w%d", tag, seq, wdst)})
+			c.w.boxes[wdst].putPair(e, d)
+		} else {
+			c.w.boxes[wdst].put(e)
+		}
+		if attempt > 0 {
+			c.observe(fault.Event{Kind: fault.EventRecover, Detail: fmt.Sprintf("delivered tag=%d seq=%d after %d retries", tag, seq, attempt)})
+		}
+		return
+	}
+}
+
+// nextSendSeq reserves the next sequence number of the (dst, tag) flow.
+func (c *Comm) nextSendSeq(dst, tag int) uint64 {
+	if c.sendSeq == nil {
+		c.sendSeq = make(map[sendFlow]uint64)
+	}
+	f := sendFlow{dst, tag}
+	c.sendSeq[f]++
+	return c.sendSeq[f]
+}
+
+// observe reports a fault event to the registered observer, if any.
+func (c *Comm) observe(e fault.Event) {
+	if c.obs != nil {
+		c.obs(e)
+	}
+}
+
+// SetFaultObserver registers the sink for this rank's fault events (nil
+// disables).  Rank-goroutine-confined like the Comm itself; communicators
+// split off afterwards inherit the observer.
+func (c *Comm) SetFaultObserver(o fault.Observer) { c.obs = o }
+
+// FaultInjector returns the world's fault injector (nil in fault-free
+// worlds — the common case, which callers gate on).
+func (c *Comm) FaultInjector() *fault.Injector { return c.w.inj }
+
+// FaultControlTag returns the communicator's fault-plane control tag (the
+// checkpoint descriptor ring), reserving it through ReserveProtocolTag on
+// first use.  Collective discipline applies: every rank must first touch it
+// at the same point relative to its other protocol-tag reservations.
+func (c *Comm) FaultControlTag() int {
+	if c.faultTag == 0 {
+		t, err := c.ReserveProtocolTag()
+		if err != nil {
+			panic(err)
+		}
+		c.faultTag = t
+	}
+	return c.faultTag
+}
+
 // recv blocks for a message from src (or AnySource) under tag and
 // synchronizes the clock with its arrival.
 func (c *Comm) recv(src, tag int) envelope {
 	if src != AnySource && (src < 0 || src >= len(c.group)) {
 		panic(fmt.Sprintf("comm: recv from rank %d outside communicator of size %d", src, len(c.group)))
 	}
-	e := c.w.boxes[c.group[c.rank]].get(c.id, src, tag)
+	e, dups := c.w.boxes[c.group[c.rank]].get(c.id, src, tag)
+	if dups > 0 {
+		c.stats.Fault.Dedup += int64(dups)
+		c.observe(fault.Event{Kind: fault.EventDetect, Detail: fmt.Sprintf("discarded %d duplicate(s) tag=%d src=%d", dups, tag, src)})
+	}
 	c.clock.Arrive(e.arrival)
 	return e
 }
@@ -102,14 +252,28 @@ func (c *Comm) recv(src, tag int) envelope {
 // so the two reserved protocols can never collide.
 const protocolTagBase = UserTagLimit + 1<<20
 
+// protocolTagSpace bounds how many protocol tags one communicator can
+// reserve, keeping the reservations clear of any tag range a future
+// protocol might claim above them.  Far beyond any sane window count; the
+// bound exists so exhaustion is an error, not a silent collision.
+const protocolTagSpace = 1 << 20
+
+// ErrProtocolTagsExhausted is returned by ReserveProtocolTag once a
+// communicator has reserved its entire protocol tag budget.
+var ErrProtocolTagsExhausted = errors.New("comm: protocol tag space exhausted")
+
 // ReserveProtocolTag returns a fresh tag from the library-reserved space
 // (>= UserTagLimit, see mailbox.go).  Like nextSeq it relies on
 // collective discipline: every rank of the communicator must call it the
 // same number of times in the same order (e.g. once per rma window
-// creation), so all ranks agree on the tag without communication.
-func (c *Comm) ReserveProtocolTag() int {
+// creation), so all ranks agree on the tag without communication.  It
+// errors with ErrProtocolTagsExhausted after protocolTagSpace reservations.
+func (c *Comm) ReserveProtocolTag() (int, error) {
+	if c.protoTags >= protocolTagSpace {
+		return 0, fmt.Errorf("%w (communicator %d reserved all %d)", ErrProtocolTagsExhausted, c.id, uint64(protocolTagSpace))
+	}
 	c.protoTags++
-	return protocolTagBase + int(c.protoTags) - 1
+	return protocolTagBase + int(c.protoTags) - 1, nil
 }
 
 // PostRaw delivers payload to dst under a protocol tag with an explicit
@@ -185,6 +349,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		group: group,
 		clock: c.clock,
 		stats: c.stats,
+		obs:   c.obs,
 	}
 }
 

@@ -20,11 +20,33 @@ func Sendrecv[T any](c *Comm, partner, tag int, send []T) []T {
 // above UserTagLimit (the inverse of the user-tag check), so protocol
 // traffic can never be intercepted by an application Recv.
 func SendrecvProtocol[T any](c *Comm, partner, tag int, send []T, byteScale float64) []T {
+	checkProtocolTag(tag)
+	sendSlice(c, partner, tag, send, byteScale)
+	return recvSlice[T](c, partner, tag)
+}
+
+// SendProtocol is the one-way half of SendrecvProtocol, for protocol
+// exchanges whose send and receive partners differ (e.g. the checkpoint
+// descriptor ring of the fault plane).  Priced like a normal send.
+func SendProtocol[T any](c *Comm, dst, tag int, data []T, byteScale float64) {
+	checkProtocolTag(tag)
+	sendSlice(c, dst, tag, data, byteScale)
+}
+
+// RecvProtocol receives one SendProtocol message from src under a reserved
+// protocol tag.
+func RecvProtocol[T any](c *Comm, src, tag int) []T {
+	checkProtocolTag(tag)
+	return recvSlice[T](c, src, tag)
+}
+
+// checkProtocolTag is the inverse of checkUserTag: library-internal
+// protocol traffic must stay in the reserved space so an application Recv
+// can never intercept it.
+func checkProtocolTag(tag int) {
 	if tag < UserTagLimit {
 		panic(fmt.Sprintf("comm: protocol tag %d is below the reserved space [%d, ∞)", tag, UserTagLimit))
 	}
-	sendSlice(c, partner, tag, send, byteScale)
-	return recvSlice[T](c, partner, tag)
 }
 
 // Scan returns the inclusive prefix combination over ranks: rank r receives

@@ -24,6 +24,50 @@ type Stats struct {
 	Puts     [simnet.NumLinkClasses]int64
 	PutBytes [simnet.NumLinkClasses]int64
 	Notifies [simnet.NumLinkClasses]int64
+
+	// Fault tallies the fault plane's activity on this rank (zero in
+	// fault-free runs).
+	Fault FaultCounters
+}
+
+// FaultCounters tallies injected faults and the resilience work they caused
+// on one rank.  Same ownership rules as Stats: rank-goroutine-confined,
+// snapshotted by the World at rank exit.
+type FaultCounters struct {
+	Drops    int64 // transmission attempts lost by the injector
+	Dups     int64 // duplicate deliveries injected
+	Delays   int64 // messages given extra arrival jitter
+	Reorders int64 // messages jumped ahead of the receive queue
+	Retries  int64 // retransmissions after a modelled timeout
+	RetryNS  int64 // virtual time spent waiting out retransmission timeouts
+	Dedup    int64 // receiver-side duplicate discards
+}
+
+// Any reports whether any fault-plane activity was recorded.
+func (f FaultCounters) Any() bool {
+	return f != FaultCounters{}
+}
+
+func (f *FaultCounters) add(o FaultCounters) {
+	f.Drops += o.Drops
+	f.Dups += o.Dups
+	f.Delays += o.Delays
+	f.Reorders += o.Reorders
+	f.Retries += o.Retries
+	f.RetryNS += o.RetryNS
+	f.Dedup += o.Dedup
+}
+
+func (f FaultCounters) sub(o FaultCounters) FaultCounters {
+	return FaultCounters{
+		Drops:    f.Drops - o.Drops,
+		Dups:     f.Dups - o.Dups,
+		Delays:   f.Delays - o.Delays,
+		Reorders: f.Reorders - o.Reorders,
+		Retries:  f.Retries - o.Retries,
+		RetryNS:  f.RetryNS - o.RetryNS,
+		Dedup:    f.Dedup - o.Dedup,
+	}
 }
 
 func (s *Stats) record(lc simnet.LinkClass, bytes int) {
@@ -54,6 +98,7 @@ func (s *Stats) Add(o *Stats) {
 		s.PutBytes[i] += o.PutBytes[i]
 		s.Notifies[i] += o.Notifies[i]
 	}
+	s.Fault.add(o.Fault)
 }
 
 // Sub returns s - o per field, for delta accounting between two snapshots.
@@ -66,6 +111,7 @@ func (s Stats) Sub(o Stats) Stats {
 		d.PutBytes[i] = s.PutBytes[i] - o.PutBytes[i]
 		d.Notifies[i] = s.Notifies[i] - o.Notifies[i]
 	}
+	d.Fault = s.Fault.sub(o.Fault)
 	return d
 }
 

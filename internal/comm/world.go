@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"dhsort/internal/fault"
 	"dhsort/internal/simnet"
 )
 
@@ -32,6 +33,7 @@ type World struct {
 	size  int
 	model *simnet.CostModel
 	boxes []*mailbox
+	inj   *fault.Injector // nil in fault-free worlds
 
 	mu     sync.Mutex
 	finals []time.Duration // per-rank clock at fn return
@@ -42,6 +44,15 @@ type World struct {
 // real-time execution; a non-nil model prices all communication and enables
 // virtual clocks.
 func NewWorld(size int, model *simnet.CostModel) (*World, error) {
+	return NewWorldWithFaults(size, model, fault.Plan{})
+}
+
+// NewWorldWithFaults is NewWorld under a seeded fault schedule: the plan's
+// message faults are injected into every remote send, its crashes and
+// stalls are consulted by the supersteps' checkpoint boundaries, and its
+// watchdog bounds how long any receive may block on the wall clock.  The
+// zero plan is exactly NewWorld.
+func NewWorldWithFaults(size int, model *simnet.CostModel, plan fault.Plan) (*World, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("comm: world size must be positive, got %d", size)
 	}
@@ -50,18 +61,27 @@ func NewWorld(size int, model *simnet.CostModel) (*World, error) {
 			return nil, err
 		}
 	}
+	inj, err := fault.New(plan)
+	if err != nil {
+		return nil, err
+	}
 	w := &World{
 		size:   size,
 		model:  model,
+		inj:    inj,
 		boxes:  make([]*mailbox, size),
 		finals: make([]time.Duration, size),
 		stats:  make([]Stats, size),
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
+		w.boxes[i].watchdog = plan.Watchdog
 	}
 	return w, nil
 }
+
+// FaultInjector returns the world's fault injector (nil when fault-free).
+func (w *World) FaultInjector() *fault.Injector { return w.inj }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+)
+
+// Superstep checkpointing — the resilience half of the fault plane
+// (internal/fault).  At each superstep boundary a rank snapshots the state
+// the next superstep depends on (the locally sorted partition, the splitter
+// vector, the exchange cut offsets), checksums it, and mirrors a small
+// descriptor around a ring so neighbouring ranks audit superstep agreement.
+// A rank the schedule crashes at that boundary loses its live state, pays
+// the respawn + restore cost on the virtual clock, re-enters from the
+// snapshot, and verifies the checksum before continuing; a stalled rank
+// just burns the scheduled time.  Checkpointing only runs in
+// fault-injecting worlds, so fault-free runs are byte-identical to before.
+
+// The fault plane's superstep schedule, shared by core and hss: crash/stall
+// coordinates in fault.Plan address these boundary indices.
+const (
+	// StepLocalSort is the boundary after the Local Sort superstep.
+	StepLocalSort = 1
+	// StepSplitting is the boundary after splitter determination.
+	StepSplitting = 2
+	// StepCuts is the boundary after the permutation-matrix construction,
+	// immediately before the data exchange.
+	StepCuts = 3
+)
+
+// Checkpoint is one rank's snapshot store: the last completed superstep's
+// state, its checksum, and reusable buffers.  The zero value is ready; a
+// nil pointer (fault-free run) makes Boundary a no-op.
+type Checkpoint[K any] struct {
+	step      int
+	sorted    []K
+	splitters []K
+	cuts      []int
+	sum       uint64
+}
+
+// ckptDesc is the descriptor mirrored around the ring at every boundary:
+// enough for a neighbour to audit superstep agreement and for diagnostics,
+// not a replica of the data (the snapshot itself is rank-local "stable
+// storage" surviving the modelled process crash).
+type ckptDesc struct {
+	Step  int32
+	Elems int64
+	Sum   uint64
+}
+
+// Boundary runs the checkpoint protocol at superstep boundary `step` for
+// the state (*sorted, *splitters, *cuts); nil slice pointers mean the state
+// does not exist yet at this boundary.  In fault-free worlds it does
+// nothing.  Under fault injection it (1) snapshots + checksums the state
+// and prices the checkpoint write, (2) mirrors the descriptor to the next
+// ring neighbour and audits the predecessor's, (3) applies a scheduled
+// stall, and (4) applies a scheduled crash: wipes the live state, pays
+// respawn + restore, re-installs the snapshot and verifies its checksum.
+func (ck *Checkpoint[K]) Boundary(c *comm.Comm, ops keys.Ops[K], cfg Config, step int, sorted, splitters *[]K, cuts *[]int) {
+	if ck == nil {
+		return
+	}
+	inj := c.FaultInjector()
+	if inj == nil {
+		return
+	}
+	rec := cfg.Recorder
+	model := c.Model()
+	p := c.Size()
+
+	// (1) Snapshot into the checkpoint store and checksum it.  The write
+	// is priced at the scaled volume, like the data it protects.
+	ck.step = step
+	ck.sorted = snapshot(ck.sorted, sorted)
+	ck.splitters = snapshot(ck.splitters, splitters)
+	ck.cuts = snapshot(ck.cuts, cuts)
+	ck.sum = ck.checksum(ops)
+	velems := int(float64(len(ck.sorted)) * cfg.scale())
+	vbytes := int64(float64(ck.bytes(ops)) * cfg.scale())
+	if model != nil {
+		c.Clock().Advance(model.ScanCost(velems) + model.CheckpointCost(int(vbytes)))
+	}
+	rec.AddCheckpoint(vbytes)
+
+	// (2) Descriptor ring: audit that the neighbourhood is at the same
+	// superstep.  Divergence means the checkpoint schedule itself broke —
+	// abort loudly rather than sort wrong data.
+	if p > 1 {
+		tag := c.FaultControlTag()
+		next, prev := (c.Rank()+1)%p, (c.Rank()+p-1)%p
+		comm.SendProtocol(c, next, tag, []ckptDesc{{Step: int32(step), Elems: int64(len(ck.sorted)), Sum: ck.sum}}, 1)
+		got := comm.RecvProtocol[ckptDesc](c, prev, tag)
+		if len(got) != 1 || int(got[0].Step) != step {
+			panic(fmt.Sprintf("core: checkpoint divergence at rank %d: boundary %d but predecessor %d mirrored %+v", c.Rank(), step, prev, got))
+		}
+	}
+
+	// (3) Scheduled stall: the rank freezes for the scheduled time.  Its
+	// neighbours keep running; they only feel it through later arrivals.
+	if d := inj.StallAt(c.WorldRank(), step); d > 0 {
+		c.Clock().Advance(d)
+		rec.AddStall(d)
+		rec.AddFaultSpan("inject", fmt.Sprintf("stall %v at step %d", d, step), d)
+	}
+
+	// (4) Scheduled crash: live state dies with the rank; the respawned
+	// process restores the snapshot and re-enters this superstep.
+	if inj.CrashAt(c.WorldRank(), step) {
+		rec.AddFaultSpan("inject", fmt.Sprintf("crash at step %d", step), 0)
+		wipe(sorted)
+		wipe(splitters)
+		wipe(cuts)
+		start := c.Clock().Now()
+		if model != nil {
+			c.Clock().Advance(model.RespawnCost() + model.RestoreCost(int(vbytes)) + model.ScanCost(velems))
+		}
+		restore(sorted, ck.sorted)
+		restore(splitters, ck.splitters)
+		restore(cuts, ck.cuts)
+		if ck.checksum(ops) != ck.sum {
+			panic(fmt.Sprintf("core: checkpoint checksum mismatch restoring rank %d at step %d", c.Rank(), step))
+		}
+		d := c.Clock().Now() - start
+		rec.AddRecovery(d)
+		rec.AddFaultSpan("recover", fmt.Sprintf("restored step %d (%d elems)", step, len(ck.sorted)), d)
+	}
+}
+
+// snapshot copies *src into dst's storage (reused across boundaries).
+func snapshot[T any](dst []T, src *[]T) []T {
+	if src == nil {
+		return dst[:0]
+	}
+	return append(dst[:0], *src...)
+}
+
+// wipe models the loss of a crashed rank's volatile memory.
+func wipe[T any](s *[]T) {
+	if s != nil {
+		*s = nil
+	}
+}
+
+// restore re-installs a snapshot into the live state.
+func restore[T any](dst *[]T, src []T) {
+	if dst != nil {
+		*dst = append([]T(nil), src...)
+	}
+}
+
+// bytes is the snapshot's stored volume: 16 bytes per key image plus the
+// cut offsets.
+func (ck *Checkpoint[K]) bytes(ops keys.Ops[K]) int {
+	return (len(ck.sorted)+len(ck.splitters))*ops.Bytes() + len(ck.cuts)*8
+}
+
+// checksum folds the snapshot's key images and cuts through FNV-1a; the
+// 128-bit embedding gives every key type a stable fixed-width image.
+func (ck *Checkpoint[K]) checksum(ops keys.Ops[K]) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	word(uint64(ck.step))
+	word(uint64(len(ck.sorted)))
+	word(uint64(len(ck.splitters)))
+	word(uint64(len(ck.cuts)))
+	for _, k := range ck.sorted {
+		b := ops.ToBits(k)
+		word(b.Hi)
+		word(b.Lo)
+	}
+	for _, k := range ck.splitters {
+		b := ops.ToBits(k)
+		word(b.Hi)
+		word(b.Lo)
+	}
+	for _, c := range ck.cuts {
+		word(uint64(int64(c)))
+	}
+	return h
+}

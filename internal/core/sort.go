@@ -64,6 +64,14 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		rec.Finish()
 		return sorted, nil
 	}
+	// Fault-injecting worlds checkpoint at every superstep boundary so a
+	// crashed-and-respawned rank re-enters from its snapshot; ck stays nil
+	// (and Boundary a no-op) on the fault-free fast path.
+	var ck *Checkpoint[K]
+	if c.FaultInjector() != nil {
+		ck = &Checkpoint[K]{}
+	}
+	ck.Boundary(c, ops, cfg, StepLocalSort, &sorted, nil, nil)
 
 	// Superstep 2: Splitting.  Targets are the capacity prefix sums of
 	// Definition 3; the tolerance comes from Definition 1.
@@ -82,10 +90,12 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 	rec.Enter(metrics.Histogram)
 	splitters, _ := FindSplitters(c, sorted, ops, targets, tol, cfg)
+	ck.Boundary(c, ops, cfg, StepSplitting, &sorted, &splitters, nil)
 
 	// Superstep 3: Data Exchange (permutation matrix + ALLTOALLV).
 	rec.Enter(metrics.Other)
 	cuts := ComputeCuts(c, sorted, ops, splitters, targets, cfg)
+	ck.Boundary(c, ops, cfg, StepCuts, &sorted, &splitters, &cuts)
 	rec.Enter(metrics.Exchange)
 	out := ExchangeAndMergeArena(c, sorted, ops, cuts, cfg, ar) // enters Merge internally
 	rec.Finish()

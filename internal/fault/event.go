@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies one fault-plane occurrence for tracing: the
+// injection itself, the moment a resilience mechanism notices it, the
+// repair attempt, and the completed recovery.
+type EventKind int
+
+const (
+	// EventInject marks a fault entering the system (drop, dup, delay,
+	// reorder, stall, crash).
+	EventInject EventKind = iota
+	// EventDetect marks a resilience mechanism noticing a fault (send
+	// timeout firing, duplicate discarded, checksum mismatch).
+	EventDetect
+	// EventRetry marks a repair attempt (a retransmission after backoff).
+	EventRetry
+	// EventRecover marks a completed recovery (message finally delivered
+	// after retries, rank restored from checkpoint).
+	EventRecover
+)
+
+// String returns the kind's trace label.
+func (k EventKind) String() string {
+	switch k {
+	case EventInject:
+		return "inject"
+	case EventDetect:
+		return "detect"
+	case EventRetry:
+		return "retry"
+	case EventRecover:
+		return "recover"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one fault-plane occurrence, reported by the transport and the
+// checkpoint layer to whatever Observer is registered (the metrics recorder
+// turns them into trace spans).
+type Event struct {
+	Kind   EventKind
+	Detail string        // e.g. "drop net:3->7", "restore step 2"
+	Dur    time.Duration // time the event cost (backoff wait, recovery)
+}
+
+// Observer receives fault events on the rank goroutine that produced them;
+// implementations must be cheap and must not call back into comm.
+type Observer func(Event)

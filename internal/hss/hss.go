@@ -132,6 +132,13 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		rec.Finish()
 		return sorted, nil
 	}
+	// Superstep checkpointing under fault injection, exactly as in core:
+	// ck stays nil (no-op boundaries) on the fault-free fast path.
+	var ck *core.Checkpoint[K]
+	if c.FaultInjector() != nil {
+		ck = &core.Checkpoint[K]{}
+	}
+	ck.Boundary(c, ops, cfg.coreCfg(), core.StepLocalSort, &sorted, nil, nil)
 
 	rec.Enter(metrics.Other)
 	capacities := comm.AllgatherOne(c, int64(len(local)))
@@ -148,9 +155,11 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 	rec.Enter(metrics.Histogram)
 	splitters := FindSplittersSampled(c, sorted, ops, targets, tol, cfg)
+	ck.Boundary(c, ops, cfg.coreCfg(), core.StepSplitting, &sorted, &splitters, nil)
 
 	rec.Enter(metrics.Other)
 	cuts := core.ComputeCuts(c, sorted, ops, splitters, targets, cfg.coreCfg())
+	ck.Boundary(c, ops, cfg.coreCfg(), core.StepCuts, &sorted, &splitters, &cuts)
 	rec.Enter(metrics.Exchange)
 	out := core.ExchangeAndMergeArena(c, sorted, ops, cuts, cfg.coreCfg(), ar)
 	rec.Finish()

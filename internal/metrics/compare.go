@@ -135,6 +135,21 @@ func compareRecords(o, n Record, threshold float64) []Delta {
 		track("totals.puts", sumPuts(o.Totals.Links), sumPuts(n.Totals.Links), messagesFloor)
 		track("totals.put_bytes", sumPutBytes(o.Totals.Links), sumPutBytes(n.Totals.Links), bytesFloor)
 	}
+	// Same additive pattern for the fault block: a baseline lacking it
+	// (fault-free, or written before the fields existed) is never gated on
+	// it.  The gated quantities are the time the resilience machinery spent,
+	// not the raw injection counts — those are fixed by the schedule seed,
+	// while the retry/recovery time is what a transport regression inflates.
+	if o.Fault != nil {
+		var nf FaultStat
+		if n.Fault != nil {
+			nf = *n.Fault
+		}
+		track("fault.retry_ns", o.Fault.RetryNS, nf.RetryNS, timeFloorNS)
+		track("fault.recovery_ns", o.Fault.RecoveryNS, nf.RecoveryNS, timeFloorNS)
+		track("fault.retries", o.Fault.Retries, nf.Retries, messagesFloor)
+		track("fault.dedup_hits", o.Fault.DedupHits, nf.DedupHits, messagesFloor)
+	}
 	return out
 }
 

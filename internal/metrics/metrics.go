@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dhsort/internal/comm"
+	"dhsort/internal/fault"
 	"dhsort/internal/simnet"
 	"dhsort/internal/trace"
 )
@@ -60,6 +61,50 @@ func (t *LinkTally) add(o LinkTally) {
 	t.Notifies += o.Notifies
 }
 
+// FaultTally aggregates the fault plane's activity in one run: the faults
+// the injector scheduled, the resilience work the transport did to survive
+// them, and the checkpoint/recovery traffic of the supersteps.  All zero in
+// fault-free runs.
+type FaultTally struct {
+	// Transport-level (from comm.Stats.Fault).
+	Drops     int64
+	Dups      int64
+	Delays    int64
+	Reorders  int64
+	Retries   int64
+	RetryNS   int64
+	DedupHits int64
+	// Superstep-level (recorded by the checkpoint boundaries).
+	Checkpoints     int64
+	CheckpointBytes int64
+	Recoveries      int64
+	RecoveryNS      int64
+	Stalls          int64
+	StallNS         int64
+}
+
+// Any reports whether the tally recorded any fault-plane activity.
+func (t FaultTally) Any() bool {
+	return t != FaultTally{}
+}
+
+// add accumulates o into t.
+func (t *FaultTally) add(o FaultTally) {
+	t.Drops += o.Drops
+	t.Dups += o.Dups
+	t.Delays += o.Delays
+	t.Reorders += o.Reorders
+	t.Retries += o.Retries
+	t.RetryNS += o.RetryNS
+	t.DedupHits += o.DedupHits
+	t.Checkpoints += o.Checkpoints
+	t.CheckpointBytes += o.CheckpointBytes
+	t.Recoveries += o.Recoveries
+	t.RecoveryNS += o.RecoveryNS
+	t.Stalls += o.Stalls
+	t.StallNS += o.StallNS
+}
+
 // Recorder accumulates one rank's per-phase time (against its clock, wall
 // or simulated) and per-phase communication volume by link class (against
 // its comm.Stats accumulator).  A nil *Recorder is valid and records
@@ -95,6 +140,14 @@ type Recorder struct {
 	// Threads is the intra-rank worker budget the compute kernels ran
 	// with (0 when not recorded).
 	Threads int
+	// Fault tallies the rank's fault-plane activity (transport counters
+	// folded in at phase boundaries, checkpoint/recovery recorded by the
+	// superstep boundaries).  Zero in fault-free runs.
+	Fault FaultTally
+	// FaultSpans is the rank's fault-event timeline (capped; see
+	// trace.AddFaultSpan for the overflow rule applied here too).
+	FaultSpans        []trace.FaultSpan
+	FaultSpansDropped int
 }
 
 // NewRecorder returns a recorder ticking on clock and attributing the
@@ -109,9 +162,17 @@ func NewRecorder(clock *simnet.Clock, stats *comm.Stats) *Recorder {
 }
 
 // ForComm returns a recorder bound to the rank's clock and stats
-// accumulator — the standard way to instrument a rank function.
+// accumulator — the standard way to instrument a rank function.  Under a
+// fault-injecting world it also registers itself as the rank's fault-event
+// observer, turning transport events into trace spans.
 func ForComm(c *comm.Comm) *Recorder {
-	return NewRecorder(c.Clock(), c.Stats())
+	r := NewRecorder(c.Clock(), c.Stats())
+	if c.FaultInjector() != nil {
+		c.SetFaultObserver(func(e fault.Event) {
+			r.AddFaultSpan(e.Kind.String(), e.Detail, e.Dur)
+		})
+	}
+	return r
 }
 
 // Enter closes the current phase and starts p.
@@ -130,6 +191,11 @@ func (r *Recorder) Enter(p Phase) {
 				Puts: d.Puts[lc], PutBytes: d.PutBytes[lc], Notifies: d.Notifies[lc],
 			})
 		}
+		r.Fault.add(FaultTally{
+			Drops: d.Fault.Drops, Dups: d.Fault.Dups, Delays: d.Fault.Delays,
+			Reorders: d.Fault.Reorders, Retries: d.Fault.Retries,
+			RetryNS: d.Fault.RetryNS, DedupHits: d.Fault.Dedup,
+		})
 		r.statMark = *r.stats
 	}
 	r.cur = p
@@ -178,6 +244,50 @@ func (r *Recorder) SetLocalSort(kernel string, threads int) {
 	}
 }
 
+// AddCheckpoint accounts one superstep checkpoint of the given priced
+// volume.
+func (r *Recorder) AddCheckpoint(bytes int64) {
+	if r != nil {
+		r.Fault.Checkpoints++
+		r.Fault.CheckpointBytes += bytes
+	}
+}
+
+// AddRecovery accounts one crash recovery (respawn + checkpoint restore)
+// that took d of virtual time.
+func (r *Recorder) AddRecovery(d time.Duration) {
+	if r != nil {
+		r.Fault.Recoveries++
+		r.Fault.RecoveryNS += int64(d)
+	}
+}
+
+// AddStall accounts one injected rank stall of duration d.
+func (r *Recorder) AddStall(d time.Duration) {
+	if r != nil {
+		r.Fault.Stalls++
+		r.Fault.StallNS += int64(d)
+	}
+}
+
+// maxFaultSpans mirrors the trace package's per-rank span cap.
+const maxFaultSpans = 4096
+
+// AddFaultSpan appends a fault event to the rank's timeline, stamped with
+// the current clock and phase.
+func (r *Recorder) AddFaultSpan(kind, detail string, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	if len(r.FaultSpans) >= maxFaultSpans {
+		r.FaultSpansDropped++
+		return
+	}
+	r.FaultSpans = append(r.FaultSpans, trace.FaultSpan{
+		Kind: kind, Phase: r.cur, At: r.clock.Now(), Dur: dur, Detail: detail,
+	})
+}
+
 // Total returns the summed phase times.
 func (r *Recorder) Total() time.Duration {
 	var t time.Duration
@@ -218,6 +328,12 @@ type Summary struct {
 	// Threads is the intra-rank worker budget (identical on every rank;
 	// 0 when the run did not record one).
 	Threads int
+	// Fault is the fault-plane activity summed across ranks (zero in
+	// fault-free runs).
+	Fault FaultTally
+	// FaultEvents counts the fault-event spans recorded across ranks
+	// (including any dropped past the per-rank cap).
+	FaultEvents int64
 }
 
 // Summarize aggregates per-rank recorders (nil entries are skipped).
@@ -262,6 +378,8 @@ func Summarize(recs []*Recorder) Summary {
 		if s.Threads == 0 {
 			s.Threads = r.Threads
 		}
+		s.Fault.add(r.Fault)
+		s.FaultEvents += int64(len(r.FaultSpans) + r.FaultSpansDropped)
 	}
 	if s.Ranks > 0 {
 		for p := Phase(0); p < NumPhases; p++ {

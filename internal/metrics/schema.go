@@ -38,6 +38,10 @@ type RunConfig struct {
 	Reps int `json:"reps"`
 	// Seed is the base workload seed.
 	Seed uint64 `json:"seed"`
+	// Fault is the fault schedule the suite ran under, in fault.Parse
+	// syntax.  OPTIONAL: omitted for fault-free suites, so pre-existing
+	// documents stay byte-identical.
+	Fault string `json:"fault,omitempty"`
 }
 
 // DurationStat summarizes a repeated timing in nanoseconds of virtual (or
@@ -96,6 +100,27 @@ type PhaseStat struct {
 	Links map[string]LinkStat `json:"links,omitempty"`
 }
 
+// FaultStat is the JSON form of a FaultTally: the injected faults and the
+// resilience work of one record, summed across ranks.  The whole block is
+// an OPTIONAL schema field (omitted for fault-free records via the
+// `fault,omitempty` pointer on Record), and every counter inside it is
+// omitempty too — the same additive pattern as the one-sided counters.
+type FaultStat struct {
+	Drops           int64 `json:"drops,omitempty"`
+	Dups            int64 `json:"dups,omitempty"`
+	Delays          int64 `json:"delays,omitempty"`
+	Reorders        int64 `json:"reorders,omitempty"`
+	Retries         int64 `json:"retries,omitempty"`
+	RetryNS         int64 `json:"retry_ns,omitempty"`
+	DedupHits       int64 `json:"dedup_hits,omitempty"`
+	Checkpoints     int64 `json:"checkpoints,omitempty"`
+	CheckpointBytes int64 `json:"checkpoint_bytes,omitempty"`
+	Recoveries      int64 `json:"recoveries,omitempty"`
+	RecoveryNS      int64 `json:"recovery_ns,omitempty"`
+	Stalls          int64 `json:"stalls,omitempty"`
+	StallNS         int64 `json:"stall_ns,omitempty"`
+}
+
 // Imbalance carries the run's load-imbalance factors (1.0 = balanced).
 type Imbalance struct {
 	Time   float64 `json:"time"`
@@ -134,6 +159,10 @@ type Record struct {
 	// Threads is the intra-rank worker budget of the compute supersteps.
 	// OPTIONAL: omitted when unrecorded.
 	Threads int `json:"threads,omitempty"`
+	// Fault is the fault-plane activity of the first repetition.
+	// OPTIONAL: nil (omitted) for fault-free records, so pre-existing
+	// documents stay byte-identical.
+	Fault *FaultStat `json:"fault,omitempty"`
 	// Phases holds the per-superstep breakdown of the first repetition,
 	// keyed by phase name (LocalSort, Histogram, Exchange, Merge, Other).
 	Phases map[string]PhaseStat `json:"phases"`
@@ -181,6 +210,17 @@ func NewRecord(algorithm string, p, perRank int, workload string, makespans []ti
 		}
 		phases[ph.String()] = st
 	}
+	var fs *FaultStat
+	if s.Fault.Any() {
+		fs = &FaultStat{
+			Drops: s.Fault.Drops, Dups: s.Fault.Dups, Delays: s.Fault.Delays,
+			Reorders: s.Fault.Reorders, Retries: s.Fault.Retries,
+			RetryNS: s.Fault.RetryNS, DedupHits: s.Fault.DedupHits,
+			Checkpoints: s.Fault.Checkpoints, CheckpointBytes: s.Fault.CheckpointBytes,
+			Recoveries: s.Fault.Recoveries, RecoveryNS: s.Fault.RecoveryNS,
+			Stalls: s.Fault.Stalls, StallNS: s.Fault.StallNS,
+		}
+	}
 	return Record{
 		Algorithm:       algorithm,
 		P:               p,
@@ -193,6 +233,7 @@ func NewRecord(algorithm string, p, perRank int, workload string, makespans []ti
 		Exchange:        s.ExchangeAlg,
 		LocalSortKernel: s.LocalSortKernel,
 		Threads:         s.Threads,
+		Fault:           fs,
 		Phases:          phases,
 		Totals: Totals{
 			Links:          linkMap(s.TotalLinks()),

@@ -84,11 +84,19 @@ func New[T any](c *comm.Comm, localLen int) *Window[T] {
 		panic("rma: negative window length")
 	}
 	w := &Window[T]{
-		c:         c,
-		peers:     make([]handle[T], c.Size()),
-		handleTag: c.ReserveProtocolTag(),
-		notifyTag: c.ReserveProtocolTag(),
-		pending:   make([]time.Duration, c.Size()),
+		c:       c,
+		peers:   make([]handle[T], c.Size()),
+		pending: make([]time.Duration, c.Size()),
+	}
+	// Window creation keeps its panic-on-misuse contract; tag exhaustion is
+	// only reachable after a million windows on one communicator, which is a
+	// leak, not a recoverable condition.
+	for _, tag := range []*int{&w.handleTag, &w.notifyTag} {
+		t, err := c.ReserveProtocolTag()
+		if err != nil {
+			panic(fmt.Sprintf("rma: %v", err))
+		}
+		*tag = t
 	}
 	w.mine = make([]T, localLen)
 	own := handle[T]{base: w.mine, lock: &sync.Mutex{}}

@@ -43,6 +43,20 @@ type CostModel struct {
 	// SendOverhead is the sender-side CPU cost per message (the "o" of
 	// the LogP family); the receiver-side path is folded into Alpha.
 	SendOverhead time.Duration
+
+	// Resilience pricing (internal/fault).  Zero values fall back to
+	// conservative derivations so hand-built models stay valid — see
+	// RetryTimeout, CheckpointCost and RespawnCost in fault.go.
+
+	// CkptGBps is the bandwidth of the checkpoint store in bytes/ns (a
+	// per-rank share of a node-local burst buffer); zero falls back to
+	// MemGBps.
+	CkptGBps float64
+	// CkptAlpha is the fixed per-checkpoint latency (metadata commit).
+	CkptAlpha time.Duration
+	// RespawnDelay is the time to restart a crashed rank's process before
+	// it can restore its checkpoint.
+	RespawnDelay time.Duration
 }
 
 // SuperMUC returns the cost model calibrated to Table I of the paper:
@@ -61,6 +75,12 @@ func SuperMUC(ranksPerNode int, pgas bool) *CostModel {
 		ThreadEff:    0.85,
 		MemGBps:      8.0,
 		SendOverhead: 500 * time.Nanosecond,
+		// Resilience calibration (extension, not from Table I): checkpoints
+		// go to a node-local burst-buffer share, respawn covers process
+		// restart + job-manager handshake.
+		CkptGBps:     1.2,
+		CkptAlpha:    25 * time.Microsecond,
+		RespawnDelay: 2 * time.Millisecond,
 	}
 	// Network: FDR14 ≈ 56 Gbit/s per node shared by all ranks of the
 	// node, so the per-flow share of a busy exchange is NIC/ranksPerNode

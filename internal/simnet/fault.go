@@ -1,0 +1,48 @@
+package simnet
+
+import "time"
+
+// Resilience pricing for the fault-injection plane (internal/fault): the
+// virtual cost of detecting a lost message, writing and restoring superstep
+// checkpoints, and respawning a crashed rank.  All functions tolerate the
+// zero value of their calibration fields so hand-built models keep working.
+
+// RetryTimeout is the base retransmission timeout of the reliable transport
+// on the given link class: the time a sender waits before concluding an
+// unacknowledged message was lost.  Modelled as two round trips plus the
+// send overheads of message and ack — deliberately pessimistic, as real
+// RTO estimators are.  Exponential backoff (doubling per retry) is applied
+// by the transport, not here.
+func (m *CostModel) RetryTimeout(lc LinkClass) time.Duration {
+	d := 4*m.Alpha[lc] + 2*m.SendOverhead
+	if d < time.Microsecond {
+		d = time.Microsecond // floor for uncalibrated models
+	}
+	return d
+}
+
+// CheckpointCost prices writing a superstep checkpoint of the given volume
+// to the rank's checkpoint store.
+func (m *CostModel) CheckpointCost(bytes int) time.Duration {
+	g := m.CkptGBps
+	if g == 0 {
+		g = m.MemGBps
+	}
+	d := m.CkptAlpha
+	if g > 0 {
+		d += time.Duration(float64(bytes) / g)
+	}
+	return d
+}
+
+// RestoreCost prices reading a checkpoint back after a crash.  Symmetric
+// with CheckpointCost: the store's bandwidth bounds both directions.
+func (m *CostModel) RestoreCost(bytes int) time.Duration {
+	return m.CheckpointCost(bytes)
+}
+
+// RespawnCost prices restarting a crashed rank's process up to the point
+// where it can begin restoring its checkpoint.
+func (m *CostModel) RespawnCost() time.Duration {
+	return m.RespawnDelay
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultSpans(t *testing.T) {
+	clk := virtualClock()
+	r := NewRecorder(clk)
+	r.Enter(LocalSort)
+	clk.Advance(2 * time.Millisecond)
+	r.AddFaultSpan("inject", "drop tag=3 seq=1", 0)
+	r.Enter(Exchange)
+	clk.Advance(1 * time.Millisecond)
+	r.AddFaultSpan("recover", "restored step 2", 500*time.Microsecond)
+	r.Finish()
+
+	if len(r.Faults) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(r.Faults))
+	}
+	first, second := r.Faults[0], r.Faults[1]
+	if first.Kind != "inject" || first.Phase != LocalSort || first.At != 2*time.Millisecond {
+		t.Errorf("first span %+v: wrong kind/phase/timestamp", first)
+	}
+	if second.Kind != "recover" || second.Phase != Exchange || second.At != 3*time.Millisecond || second.Dur != 500*time.Microsecond {
+		t.Errorf("second span %+v: wrong kind/phase/timestamp/duration", second)
+	}
+	if second.Detail != "restored step 2" {
+		t.Errorf("detail %q lost", second.Detail)
+	}
+}
+
+func TestFaultSpanCap(t *testing.T) {
+	r := NewRecorder(virtualClock())
+	for i := 0; i < maxFaultSpans+100; i++ {
+		r.AddFaultSpan("inject", "flood", 0)
+	}
+	if len(r.Faults) != maxFaultSpans {
+		t.Errorf("span list grew to %d, cap is %d", len(r.Faults), maxFaultSpans)
+	}
+	if r.FaultsDropped != 100 {
+		t.Errorf("overflow count %d, want 100", r.FaultsDropped)
+	}
+}

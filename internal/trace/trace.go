@@ -44,6 +44,23 @@ func (p Phase) String() string {
 	return "Unknown"
 }
 
+// FaultSpan is one fault-plane occurrence on a rank's timeline: an injected
+// fault, its detection, a repair attempt, or a completed recovery — the
+// trace-level explanation for why a superstep ran slow.  Kind carries the
+// fault.EventKind label ("inject", "detect", "retry", "recover"); trace
+// stays decoupled from the fault package by storing it as a string.
+type FaultSpan struct {
+	Kind   string
+	Phase  Phase         // superstep the event interrupted
+	At     time.Duration // clock time the event was recorded
+	Dur    time.Duration // time the event cost (backoff wait, recovery)
+	Detail string
+}
+
+// maxFaultSpans caps the per-rank span list; a high-rate injection schedule
+// can emit millions of events, and the tail adds nothing a counter doesn't.
+const maxFaultSpans = 4096
+
 // Recorder accumulates one rank's time per phase against its clock.  A nil
 // *Recorder is valid and records nothing, so algorithms can run untraced.
 type Recorder struct {
@@ -57,6 +74,10 @@ type Recorder struct {
 	Iterations int
 	// ExchangedBytes counts this rank's outgoing data-exchange volume.
 	ExchangedBytes int64
+	// Faults is the rank's fault-event timeline (capped at maxFaultSpans;
+	// FaultsDropped counts the overflow).
+	Faults        []FaultSpan
+	FaultsDropped int
 }
 
 // NewRecorder returns a recorder ticking on clock, starting in Other.
@@ -93,6 +114,22 @@ func (r *Recorder) AddExchangedBytes(n int64) {
 	if r != nil {
 		r.ExchangedBytes += n
 	}
+}
+
+// AddFaultSpan appends a fault event to the rank's timeline, stamped with
+// the current clock and phase.  Spans beyond maxFaultSpans are counted, not
+// stored.
+func (r *Recorder) AddFaultSpan(kind, detail string, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	if len(r.Faults) >= maxFaultSpans {
+		r.FaultsDropped++
+		return
+	}
+	r.Faults = append(r.Faults, FaultSpan{
+		Kind: kind, Phase: r.cur, At: r.clock.Now(), Dur: dur, Detail: detail,
+	})
 }
 
 // Total returns the summed phase times.
