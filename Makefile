@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault
+.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink
 
 ci:
 	./ci.sh
@@ -40,3 +40,9 @@ bench-local:
 # modelled makespan under seeded fault schedules (drop rate x crashes).
 bench-fault:
 	go run ./cmd/bench -exp fault
+
+# Graceful-degradation ablation (extension, no paper figure): crash-respawn
+# vs die-shrink recovery — makespan overhead, agreement rounds, shrink time
+# and survivor counts per schedule.
+bench-shrink:
+	go run ./cmd/bench -exp shrink

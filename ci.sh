@@ -40,6 +40,10 @@ if [ "${1:-}" = "bench" ]; then
     echo "== fault smoke (seeded drop schedule must still sort correctly)"
     go run ./cmd/dhsort -p 16 -n 65536 -model pgas -fault drop=0.01,seed=7 > /dev/null
 
+    echo "== shrink smoke (permanent rank death must complete on the survivors)"
+    go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -fault die=3@1,seed=7 -recovery shrink > /dev/null
+    go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -alg hss -fault die=3@1,seed=7 -recovery shrink > /dev/null
+
     echo "== bench smoke (BENCH_ci.json)"
     go run ./cmd/bench -json BENCH_ci.json -smoke
     # Same grid with the parallel intra-rank kernels engaged: exercises the

@@ -42,6 +42,7 @@ func main() {
 		with      = flag.String("with", "", "with -compare: diff this existing document instead of running the suite")
 		threshold = flag.Float64("threshold", metrics.DefaultThreshold, "relative growth counting as a regression")
 		fspec     = flag.String("fault", "", "seeded fault schedule applied to the metrics suite (and as an extra row of the fault experiment), e.g. drop=0.01,seed=7")
+		recovery  = flag.String("recovery", "respawn", "permanent-death (die=) recovery mode for the metrics suite: respawn|shrink")
 	)
 	flag.Parse()
 
@@ -59,7 +60,7 @@ func main() {
 	}
 
 	if *jsonOut != "" || *compare != "" {
-		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threads, *threshold, plan))
+		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threads, *threshold, plan, *recovery))
 	}
 
 	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed, Threads: *threads, Fault: plan}
@@ -89,7 +90,7 @@ func main() {
 
 // metricsMode runs the JSON suite and/or the regression gate; the return
 // value is the process exit status (0 ok, 1 error, 3 regression).
-func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threads int, threshold float64, plan fault.Plan) int {
+func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threads int, threshold float64, plan fault.Plan, recovery string) int {
 	var doc metrics.Document
 	switch {
 	case with != "":
@@ -106,7 +107,7 @@ func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint6
 	default:
 		fmt.Printf("=== metrics suite (%s grid)\n", map[bool]string{true: "smoke", false: "full"}[smoke])
 		start := time.Now()
-		d, err := bench.RunSuite(bench.SuiteOptions{Smoke: smoke, Reps: reps, Seed: seed, Threads: threads, Progress: os.Stdout, Fault: plan})
+		d, err := bench.RunSuite(bench.SuiteOptions{Smoke: smoke, Reps: reps, Seed: seed, Threads: threads, Progress: os.Stdout, Fault: plan, Recovery: recovery})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			return 1

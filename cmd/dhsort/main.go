@@ -43,7 +43,8 @@ func main() {
 		scale = flag.Float64("scale", 1, "virtual data-scale multiplier (with a cost model)")
 		thr   = flag.Int("threads", 0, "intra-rank worker budget for dhsort/hss compute kernels (0 = GOMAXPROCS; set 1 for reproducible virtual clocks)")
 		kern  = flag.String("kernel", "", "force the dhsort Local Sort kernel: radix|task-merge|introsort (empty = dispatch by key type)")
-		fspec = flag.String("fault", "", "seeded fault schedule, e.g. drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us (empty = fault-free)")
+		fspec = flag.String("fault", "", "seeded fault schedule, e.g. drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us,die=5@1 (empty = fault-free)")
+		rcv   = flag.String("recovery", "respawn", "permanent-death (die=) recovery: respawn (death is fatal) | shrink (continue on the survivors)")
 	)
 	flag.Parse()
 
@@ -96,6 +97,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dhsort:", err)
 		os.Exit(2)
 	}
+	switch *rcv {
+	case dhsort.RecoveryRespawn, dhsort.RecoveryShrink:
+	default:
+		fmt.Fprintf(os.Stderr, "dhsort: unknown recovery mode %q (want respawn|shrink)\n", *rcv)
+		os.Exit(2)
+	}
+	if *rcv == dhsort.RecoveryShrink && *alg != "dhsort" && *alg != "hss" {
+		fmt.Fprintf(os.Stderr, "dhsort: -recovery shrink is only supported by alg dhsort and hss, not %q\n", *alg)
+		os.Exit(2)
+	}
 	w, err := comm.NewWorldWithFaults(*p, m, plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhsort:", err)
@@ -112,15 +123,23 @@ func main() {
 			return err
 		}
 		rec := metrics.ForComm(c)
+		// Register the recorder before sorting: a rank scheduled to die
+		// never returns from Sort, but its fault tallies must survive.
+		mu.Lock()
+		recs[c.Rank()] = rec
+		mu.Unlock()
+		eff := c
 		var out []uint64
 		switch *alg {
 		case "dhsort":
-			out, err = dhsort.Sort(c, local, dhsort.Uint64Ops, dhsort.Config{
+			out, eff, err = dhsort.SortResilient(c, local, dhsort.Uint64Ops, dhsort.Config{
 				Epsilon: *eps, Merge: ms, Exchange: ex, VirtualScale: *scale, Threads: *thr, Kernel: *kern, Recorder: rec,
+				Recovery: *rcv,
 			})
 		case "hss":
-			out, err = hss.Sort(c, local, keys.Uint64{}, hss.Config{
+			out, eff, err = hss.SortResilient(c, local, keys.Uint64{}, hss.Config{
 				Epsilon: *eps, Exchange: ex, VirtualScale: *scale, Threads: *thr, Recorder: rec, Seed: *seed,
+				Recovery: *rcv,
 			})
 		case "samplesort":
 			out, err = samplesort.Sort(c, local, keys.Uint64{}, samplesort.Config{
@@ -142,10 +161,11 @@ func main() {
 		}
 		rec.Finish()
 		rec.SetElements(len(local), len(out))
-		ok := dhsort.IsGloballySorted(c, out, dhsort.Uint64Ops)
-		perfect := *alg == "dhsort" || *alg == "hss"
+		// After a shrink recovery the result lives on the survivor
+		// communicator; adoption makes partition sizes imperfect by design.
+		ok := dhsort.IsGloballySorted(eff, out, dhsort.Uint64Ops)
+		perfect := (*alg == "dhsort" || *alg == "hss") && eff.Size() == *p
 		mu.Lock()
-		recs[c.Rank()] = rec
 		verified = verified && ok && (!perfect || *eps > 0 || len(out) == len(local))
 		mu.Unlock()
 		return nil
@@ -213,6 +233,11 @@ func main() {
 			s.Fault.Checkpoints, float64(s.Fault.CheckpointBytes)/(1<<20),
 			s.Fault.Recoveries, time.Duration(s.Fault.RecoveryNS).Round(time.Microsecond),
 			s.Fault.Stalls, time.Duration(s.Fault.StallNS).Round(time.Microsecond))
+		if s.Fault.Deaths > 0 {
+			fmt.Printf("  shrink:     %d deaths (recovery=%s), %d agree rounds, %d shrinks (%v), %d survivors\n",
+				s.Fault.Deaths, *rcv, s.Fault.AgreeRounds, s.Fault.Shrinks,
+				time.Duration(s.Fault.ShrinkNS).Round(time.Microsecond), s.Survivors)
+		}
 	}
 	if verified {
 		fmt.Println("verification: globally sorted, partition sizes OK")

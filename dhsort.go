@@ -122,16 +122,35 @@ var (
 )
 
 // FaultPlan is a deterministic seeded failure schedule for resilience
-// testing: message drop/duplication/delay/reorder rates plus rank crashes
-// and stalls pinned to superstep boundaries.  The zero value injects
-// nothing.  See ParseFaultPlan for the textual syntax.
+// testing: message drop/duplication/delay/reorder rates plus rank crashes,
+// stalls and permanent deaths pinned to superstep boundaries.  The zero
+// value injects nothing.  See ParseFaultPlan for the textual syntax.
 type FaultPlan = fault.Plan
 
 // ParseFaultPlan parses the -fault CLI syntax, e.g.
-// "drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us".
+// "drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us,die=5@1".
 func ParseFaultPlan(spec string) (FaultPlan, error) {
 	return fault.Parse(spec)
 }
+
+// Recovery modes for permanent rank deaths (Config.Recovery).
+const (
+	// RecoveryRespawn (the default) rides out crashes by respawning from
+	// superstep checkpoints; a permanent death is fatal (ErrRankDead).
+	RecoveryRespawn = core.RecoveryRespawn
+	// RecoveryShrink continues on the survivors after a permanent death:
+	// revoke, agree, adopt the victim's mirrored shard, shrink, redo.
+	RecoveryShrink = core.RecoveryShrink
+)
+
+// ErrRankDead is the typed error surfaced when a peer rank has permanently
+// left the computation and no recovery mode consumes the failure.
+var ErrRankDead = comm.ErrRankDead
+
+// ErrShardLost marks an unrecoverable shrink: a victim's checkpoint shard
+// has no surviving holder (e.g. two ring-adjacent ranks died at the same
+// boundary), so a loss-free continuation is impossible.
+var ErrShardLost = core.ErrShardLost
 
 // Run executes fn once per rank on a fresh world of p ranks and waits for
 // completion.  model selects virtual-time execution (nil = real time).
@@ -175,6 +194,17 @@ func RunTimed(p int, model *CostModel, fn func(c *Comm) error) (time.Duration, e
 // full contract.
 func Sort[K any](c *Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
 	return core.Sort(c, local, ops, cfg)
+}
+
+// SortResilient is Sort additionally returning the effective communicator
+// the result lives on.  Without shrink recovery that is c itself; with
+// cfg.Recovery == RecoveryShrink and a permanent rank death it is the
+// shrunken survivor communicator — run collective follow-ups
+// (IsGloballySorted, further sorts) on it.  A rank scheduled to die never
+// returns; its goroutine exits inside the collective call and the world
+// treats that as a clean exit.
+func SortResilient[K any](c *Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, *Comm, error) {
+	return core.SortResilient(c, local, ops, cfg)
 }
 
 // NthElement returns the k-th smallest element (0-based) of the distributed

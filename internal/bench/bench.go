@@ -94,6 +94,7 @@ var Experiments = []Experiment{
 	{"collectives", "micro — modelled collective latencies vs rank count", Collectives},
 	{"splitters", "ablation — splitter strategies: histogram vs sampled vs selection", Splitters},
 	{"fault", "extension — resilience degradation under seeded fault schedules (drop rate × crashes)", FaultStudy},
+	{"shrink", "extension — graceful degradation: crash-respawn vs die-shrink recovery", ShrinkStudy},
 }
 
 // Find returns the experiment with the given name.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"dhsort/internal/core"
 	"dhsort/internal/fault"
 	"dhsort/internal/metrics"
 	"dhsort/internal/simnet"
@@ -33,6 +34,12 @@ type SuiteOptions struct {
 	// is never silently compared against a fault-free baseline as if the
 	// conditions matched.
 	Fault fault.Plan
+	// Recovery selects the permanent-death recovery mode.  A schedule with
+	// die= entries requires core.RecoveryShrink and restricts the suite to
+	// the sorters with a shrink path (dhsort, hss); the records then carry
+	// the recovery mode and survivor counts.  Ignored for death-free
+	// schedules.
+	Recovery string
 }
 
 func (o SuiteOptions) reps() int {
@@ -100,6 +107,30 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 		doc.Config.Fault = o.Fault.String()
 	}
 	threads := o.threads()
+	if len(o.Fault.Deaths) > 0 {
+		// Permanent deaths restrict the suite to the sorters with a shrink
+		// recovery path; the others cannot complete the schedule at all.
+		if o.Recovery != core.RecoveryShrink {
+			return metrics.Document{}, fmt.Errorf("bench: fault schedule %q kills ranks permanently; pass -recovery shrink", o.Fault)
+		}
+		for _, alg := range []string{"dhsort", "hss"} {
+			for _, p := range grid.ps {
+				for _, dist := range grid.workloads {
+					spec := workload.Spec{Dist: dist, Seed: o.Seed + uint64(p), Span: 1e9}
+					rec, err := measurePointResilient(alg, p, grid.perRank, model, spec, reps, o.Fault, o.Recovery, threads)
+					if err != nil {
+						return metrics.Document{}, fmt.Errorf("bench: suite point %s/p=%d/%s: %w", alg, p, dist, err)
+					}
+					doc.Records = append(doc.Records, rec)
+					if o.Progress != nil {
+						fmt.Fprintf(o.Progress, "  %-12s p=%-4d %-8s makespan %v (recovery=%s)\n",
+							alg, p, dist, time.Duration(rec.Makespan.MeanNS).Round(time.Microsecond), o.Recovery)
+					}
+				}
+			}
+		}
+		return doc, nil
+	}
 	sorters := []sorter{
 		dhsortSorter(threads), dhsortFusedSorter(threads), dhsortRMASorter(threads),
 		hssSorter(threads), samplesortSorter(), hyksortSorter(), bitonicSorter(),

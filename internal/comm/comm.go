@@ -128,7 +128,11 @@ func (c *Comm) sendFaulty(inj *fault.Injector, dst, tag int, payload any, vbytes
 		v := inj.Verdict(c.id, wsrc, wdst, tag, seq, attempt)
 		if v.Drop {
 			if attempt+1 >= maxSendAttempts {
-				panic(fmt.Sprintf("comm: message (tag=%d, seq=%d) to world rank %d lost %d consecutive times: link presumed dead", tag, seq, wdst, maxSendAttempts))
+				// The link is dead for all practical purposes.  Typed, not a
+				// panic string: the recovery layer treats it exactly like a
+				// receive-side death detection and shrinks past the peer.
+				panic(&FailureError{err: ErrRankDead, Rank: wdst, Comm: c.id,
+					Detail: fmt.Sprintf("message (tag=%d, seq=%d) lost %d consecutive times: link presumed dead", tag, seq, maxSendAttempts)})
 			}
 			c.stats.Fault.Drops++
 			c.stats.Fault.Retries++
@@ -233,12 +237,15 @@ func (c *Comm) FaultControlTag() int {
 }
 
 // recv blocks for a message from src (or AnySource) under tag and
-// synchronizes the clock with its arrival.
+// synchronizes the clock with its arrival.  Under fault injection the
+// blocked receive raises ErrRankDead (through the typed-panic channel Try
+// catches) if the awaited sender is registered dead — see failCheck for why
+// revocation does not interrupt it.
 func (c *Comm) recv(src, tag int) envelope {
 	if src != AnySource && (src < 0 || src >= len(c.group)) {
 		panic(fmt.Sprintf("comm: recv from rank %d outside communicator of size %d", src, len(c.group)))
 	}
-	e, dups := c.w.boxes[c.group[c.rank]].get(c.id, src, tag)
+	e, dups := c.w.boxes[c.group[c.rank]].get(c.id, src, tag, c.failCheck(src, tag))
 	if dups > 0 {
 		c.stats.Fault.Dedup += int64(dups)
 		c.observe(fault.Event{Kind: fault.EventDetect, Detail: fmt.Sprintf("discarded %d duplicate(s) tag=%d src=%d", dups, tag, src)})
@@ -291,6 +298,77 @@ func (c *Comm) PostRaw(dst, tag int, payload any, arrival time.Duration) {
 	}
 	e := envelope{comm: c.id, src: c.rank, tag: tag, arrival: arrival, payload: payload}
 	c.w.boxes[c.group[dst]].put(e)
+}
+
+// PostReliable is PostRaw through the reliable transport: under message
+// fault injection the delivery is sequenced and adjudicated like a
+// two-sided send — dropped attempts cost the origin the backed-off
+// retransmission timeout (pushing the completion time out by the same
+// amount), duplicates are enqueued for the receiver's dedup, reorders jump
+// the queue — so one-sided notification protocols survive drop injection.
+// The caller still owns the base pricing: arrival is the explicit
+// completion time.  Without message faults it is exactly PostRaw.
+func (c *Comm) PostReliable(dst, tag int, payload any, arrival time.Duration) {
+	inj := c.w.inj
+	wsrc, wdst := c.group[c.rank], c.group[dst]
+	if !inj.MessageFaults() || wsrc == wdst {
+		c.PostRaw(dst, tag, payload, arrival)
+		return
+	}
+	if tag < UserTagLimit {
+		panic(fmt.Sprintf("comm: PostReliable tag %d is below the reserved space [%d, ∞)", tag, UserTagLimit))
+	}
+	m := c.w.model
+	lc := simnet.SelfLink
+	if m != nil {
+		lc = m.Topo.Link(wsrc, wdst)
+	}
+	seq := c.nextSendSeq(dst, tag)
+	for attempt := 0; ; attempt++ {
+		v := inj.Verdict(c.id, wsrc, wdst, tag, seq, attempt)
+		if v.Drop {
+			if attempt+1 >= maxSendAttempts {
+				panic(&FailureError{err: ErrRankDead, Rank: wdst, Comm: c.id,
+					Detail: fmt.Sprintf("one-sided notification (tag=%d, seq=%d) lost %d consecutive times: link presumed dead", tag, seq, maxSendAttempts)})
+			}
+			c.stats.Fault.Drops++
+			c.stats.Fault.Retries++
+			var wait time.Duration
+			if m != nil {
+				shift := attempt
+				if shift > maxBackoffShift {
+					shift = maxBackoffShift
+				}
+				wait = m.RetryTimeout(lc) << shift
+				c.clock.Advance(wait)
+				arrival += wait
+				c.stats.Fault.RetryNS += int64(wait)
+			}
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("drop notify tag=%d seq=%d attempt=%d -> w%d", tag, seq, attempt, wdst)})
+			c.observe(fault.Event{Kind: fault.EventRetry, Detail: fmt.Sprintf("timeout+repost tag=%d seq=%d attempt=%d", tag, seq, attempt+1), Dur: wait})
+			continue
+		}
+		e := envelope{comm: c.id, src: c.rank, tag: tag, arrival: arrival + v.Delay, payload: payload, seq: seq, front: v.Reorder}
+		if v.Delay > 0 {
+			c.stats.Fault.Delays++
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("delay notify tag=%d seq=%d -> w%d", tag, seq, wdst), Dur: v.Delay})
+		}
+		if v.Reorder {
+			c.stats.Fault.Reorders++
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("reorder notify tag=%d seq=%d -> w%d", tag, seq, wdst)})
+		}
+		if v.Dup {
+			c.stats.Fault.Dups++
+			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("dup notify tag=%d seq=%d -> w%d", tag, seq, wdst)})
+			c.w.boxes[wdst].putPair(e, e)
+		} else {
+			c.w.boxes[wdst].put(e)
+		}
+		if attempt > 0 {
+			c.observe(fault.Event{Kind: fault.EventRecover, Detail: fmt.Sprintf("notify delivered tag=%d seq=%d after %d retries", tag, seq, attempt)})
+		}
+		return
+	}
 }
 
 // RecvRaw blocks for a PostRaw message from src (or AnySource) under a

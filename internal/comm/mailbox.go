@@ -112,7 +112,11 @@ func (m *mailbox) insert(e envelope) {
 // of the same flow it discarded along the way.  src may be AnySource.  It
 // panics with errAborted if the world is torn down while waiting, and with
 // a watchdog error if the receive exceeds the configured wall-clock bound.
-func (m *mailbox) get(comm uint64, src, tag int) (envelope, int) {
+// check, when non-nil, is consulted whenever no envelope is deliverable: it
+// panics with a FailureError if the awaited sender is dead or the
+// communicator revoked (the ULFM detection path), which unwinds through the
+// deferred unlock.
+func (m *mailbox) get(comm uint64, src, tag int, check func()) (envelope, int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	dups := 0
@@ -174,6 +178,9 @@ func (m *mailbox) get(comm uint64, src, tag int) (envelope, int) {
 				i++
 			}
 		}
+		if check != nil {
+			check()
+		}
 		if m.watchdog <= 0 {
 			m.cond.Wait()
 			continue
@@ -197,6 +204,14 @@ func (m *mailbox) get(comm uint64, src, tag int) (envelope, int) {
 func (m *mailbox) abort() {
 	m.mu.Lock()
 	m.aborted = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// wake re-checks all blocked receivers (used when the failure registry
+// changes: a rank died or a communicator was revoked).
+func (m *mailbox) wake() {
+	m.mu.Lock()
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }

@@ -38,6 +38,14 @@ type World struct {
 	mu     sync.Mutex
 	finals []time.Duration // per-rank clock at fn return
 	stats  []Stats         // per-rank aggregated communication stats
+
+	// Failure registry of the ULFM layer: permanently dead world ranks and
+	// revoked communicator ids.  fmu is never held while a mailbox mutex is
+	// (flags are set first, mailboxes woken after), so blocked receivers can
+	// consult the registry from inside their mailbox wait loop.
+	fmu     sync.Mutex
+	dead    []bool
+	revoked map[uint64]bool
 }
 
 // NewWorld creates a world of the given size.  model may be nil for
@@ -66,12 +74,14 @@ func NewWorldWithFaults(size int, model *simnet.CostModel, plan fault.Plan) (*Wo
 		return nil, err
 	}
 	w := &World{
-		size:   size,
-		model:  model,
-		inj:    inj,
-		boxes:  make([]*mailbox, size),
-		finals: make([]time.Duration, size),
-		stats:  make([]Stats, size),
+		size:    size,
+		model:   model,
+		inj:     inj,
+		boxes:   make([]*mailbox, size),
+		finals:  make([]time.Duration, size),
+		stats:   make([]Stats, size),
+		dead:    make([]bool, size),
+		revoked: make(map[uint64]bool),
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -105,17 +115,36 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			var c *Comm
 			defer func() {
 				if p := recover(); p != nil {
 					if p == errAborted {
 						// Collateral of another rank's failure.
 						return
 					}
+					if s, ok := p.(suicideExit); ok {
+						// Scheduled permanent death: a clean (voluntary)
+						// exit, not a failure — the survivors carry on, and
+						// the victim's stats up to its death still count.
+						w.mu.Lock()
+						w.finals[rank] = s.c.clock.Now()
+						w.stats[rank] = *s.c.stats
+						w.mu.Unlock()
+						return
+					}
+					if fe, ok := p.(*FailureError); ok {
+						// A failure nobody recovered (Config.Recovery unset
+						// or "respawn" facing a permanent death): surface it
+						// as a typed error, not a panic dump.
+						errs[rank] = fmt.Errorf("comm: rank %d: %w", rank, fe)
+						w.abort()
+						return
+					}
 					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v\n%s", rank, p, debug.Stack())
 					w.abort()
 				}
 			}()
-			c := newWorldComm(w, rank)
+			c = newWorldComm(w, rank)
 			if err := fn(c); err != nil {
 				errs[rank] = fmt.Errorf("comm: rank %d: %w", rank, err)
 				w.abort()

@@ -125,10 +125,34 @@ type Config struct {
 	// cost model prices the thread budget.
 	Threads int
 
+	// Recovery selects how the sort survives a permanent rank death
+	// (fault.Plan Deaths / comm.ErrRankDead):
+	//
+	//   - RecoveryRespawn (or ""): the PR-4 behaviour — crashed ranks
+	//     respawn from their checkpoints, but a permanent death surfaces as
+	//     a typed error and aborts the run.
+	//   - RecoveryShrink: ULFM-style graceful degradation — survivors
+	//     revoke the communicator, agree on the survivor bitmap, shrink to
+	//     a dense P−1 communicator, adopt the victim's ring-mirrored
+	//     checkpoint shard, and redo the sort there.
+	//
+	// Only meaningful in fault-injecting worlds; fault-free runs ignore it.
+	Recovery string
+
 	// Recorder, when non-nil, receives this rank's phase timings and
 	// iteration counts.
 	Recorder *metrics.Recorder
 }
+
+// Recovery modes for Config.Recovery.
+const (
+	// RecoveryRespawn keeps the checkpoint/respawn semantics of the crash
+	// schedule and treats a permanent death as fatal (the default).
+	RecoveryRespawn = "respawn"
+	// RecoveryShrink continues on the survivors after a permanent death:
+	// revoke, agree, shrink, adopt the mirrored shard, redo.
+	RecoveryShrink = "shrink"
+)
 
 // scale returns the effective VirtualScale.
 func (cfg Config) scale() float64 {
@@ -172,6 +196,11 @@ func (cfg Config) validate() error {
 	case "", KernelRadix, KernelTaskMerge, KernelIntrosort:
 	default:
 		return fmt.Errorf("core: unknown local sort kernel %q", cfg.Kernel)
+	}
+	switch cfg.Recovery {
+	case "", RecoveryRespawn, RecoveryShrink:
+	default:
+		return fmt.Errorf("core: unknown recovery mode %q (want %q or %q)", cfg.Recovery, RecoveryRespawn, RecoveryShrink)
 	}
 	return nil
 }

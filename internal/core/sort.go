@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
 	"dhsort/internal/metrics"
@@ -23,25 +26,166 @@ import (
 // cfg.ForceUnique to additionally apply the (key, rank, index)
 // transformation of §V-A.
 func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	out, _, err := SortResilient(c, local, ops, cfg)
+	return out, err
+}
+
+// SortResilient is Sort returning the effective communicator the result
+// lives on.  Without shrink recovery that is c itself; with
+// Config.Recovery == RecoveryShrink and a permanent rank death it is the
+// shrunken survivor communicator — the one collective follow-ups
+// (IsGloballySorted, further sorts) must run on.  A rank scheduled to die
+// never returns at all; its goroutine exits inside the collective call.
+func SortResilient[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, *comm.Comm, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, c, err
 	}
 	if !cfg.ForceUnique {
-		return sortImpl[K](c, local, ops, cfg)
+		return sortResilient[K](c, local, ops, cfg)
 	}
 	triples := keys.MakeUnique(local, c.Rank())
 	if m := c.Model(); m != nil {
 		c.Clock().Advance(m.ScanCost(int(float64(len(local)) * cfg.scale())))
 	}
-	out, err := sortImpl[keys.Triple[K]](c, triples, keys.NewTripleOps(ops), cfg)
+	out, eff, err := sortResilient[keys.Triple[K]](c, triples, keys.NewTripleOps(ops), cfg)
 	if err != nil {
-		return nil, err
+		return nil, eff, err
 	}
-	return keys.StripUnique(out), nil
+	return keys.StripUnique(out), eff, nil
 }
 
-// sortImpl runs the four supersteps of §V.
+// sortResilient dispatches between the plain run and the ULFM-style
+// shrink-recovery loop: run the supersteps; if a typed failure (rank death
+// or revocation) unwinds them, revoke → agree → shrink → adopt the dead
+// predecessor's mirrored shard → redo on the survivors.
+func sortResilient[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, *comm.Comm, error) {
+	if c.FaultInjector() == nil || cfg.Recovery != RecoveryShrink {
+		out, err := sortImpl[K](c, local, ops, cfg)
+		return out, c, err
+	}
+	eff := c
+	work := local
+	for {
+		var (
+			out     []K
+			sortErr error
+			ck      *Checkpoint[K]
+		)
+		// A failure surfaces either as the boundary detector's error return
+		// (the deterministic path) or, for asynchronous detection deep in a
+		// collective, as the typed panic Try converts.
+		err := comm.Try(func() {
+			ck = &Checkpoint[K]{}
+			out, sortErr = sortSteps[K](eff, work, ops, cfg, ck)
+		})
+		if err == nil {
+			err = sortErr
+		}
+		if err == nil {
+			return out, eff, nil
+		}
+		var fe *comm.FailureError
+		if !errors.As(err, &fe) {
+			return nil, eff, err
+		}
+		next, adopted, rerr := ShrinkRecover[K](eff, ck, fe, cfg.Recorder)
+		if rerr != nil {
+			return nil, eff, rerr
+		}
+		if len(adopted) > 0 {
+			merged := make([]K, 0, len(work)+len(adopted))
+			merged = append(merged, work...)
+			merged = append(merged, adopted...)
+			work = merged
+		}
+		eff = next
+	}
+}
+
+// ShrinkRecover is one survivor's pass through the ULFM recipe after a
+// failure unwound the supersteps: revoke the communicator so every peer
+// unwinds too, agree on the survivor bitmap, audit that every victim's
+// mirrored shard has a surviving holder, adopt the dead predecessor's
+// shard, and shrink to the dense survivor communicator.  The whole pass is
+// priced on the virtual clock and recorded as shrink time.  fe is the
+// failure that unwound the supersteps; when it carries a boundary step, the
+// suspicion fed to Agree is derived from the death schedule, giving every
+// survivor an identical view even before the victims' registrations land.
+// It returns the shrunken communicator and the elements adopted from the
+// dead predecessor (nil when this rank adopted nothing).  Exported for
+// sibling sorters (hss) that run their own superstep loops over core's
+// checkpoints.
+func ShrinkRecover[K any](eff *comm.Comm, ck *Checkpoint[K], fe *comm.FailureError, rec *metrics.Recorder) (*comm.Comm, []K, error) {
+	start := eff.Clock().Now()
+	eff.Revoke()
+	var suspect []bool
+	if fe != nil && fe.Step > 0 {
+		inj := eff.FaultInjector()
+		suspect = make([]bool, eff.Size())
+		for r := range suspect {
+			suspect[r] = inj.DieAt(eff.WorldRankOf(r), fe.Step)
+		}
+	}
+	alive, rounds := eff.Agree(suspect)
+	rec.AddAgreeRounds(rounds)
+
+	// Loss audit: a victim's shard survives only at its immediate ring
+	// successor.  If that successor died at the same boundary, the sort
+	// cannot be loss-free — fail with the typed error rather than return
+	// a silently incomplete result.
+	p := eff.Size()
+	deadCount := 0
+	for r, a := range alive {
+		if a {
+			continue
+		}
+		deadCount++
+		if !alive[(r+1)%p] {
+			return nil, nil, fmt.Errorf("%w: ranks %d and %d", ErrShardLost, r, (r+1)%p)
+		}
+	}
+	if deadCount == 0 {
+		return nil, nil, fmt.Errorf("core: rank %d: communicator revoked but no rank is registered dead", eff.Rank())
+	}
+
+	// Adopt the dead predecessor's mirrored snapshot.  The mirrored sorted
+	// partition is invariant across the boundaries of one epoch (data only
+	// moves in the exchange, after the last boundary), so any boundary's
+	// mirror carries the victim's full pre-exchange data — adoption is
+	// loss-free.
+	var adopted []K
+	prev := (eff.Rank() + p - 1) % p
+	if !alive[prev] {
+		if !ck.adoptable(prev) {
+			return nil, nil, fmt.Errorf("%w: rank %d holds no mirror of dead rank %d", ErrShardLost, eff.Rank(), prev)
+		}
+		adopted = ck.mirror.Sorted
+		rec.AddFaultSpan("recover", fmt.Sprintf("adopted %d mirrored elements of dead rank %d", len(adopted), prev), 0)
+	}
+
+	nc := eff.Shrink(alive)
+	d := eff.Clock().Now() - start
+	rec.AddShrink(d, nc.Size())
+	rec.AddFaultSpan("recover", fmt.Sprintf("shrunk %d -> %d survivors", p, nc.Size()), d)
+	return nc, adopted, nil
+}
+
+// sortImpl runs the supersteps with a run-local checkpoint store (the
+// respawn recovery path; shrink recovery owns the store so it survives the
+// unwind).
 func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	// Fault-injecting worlds checkpoint at every superstep boundary so a
+	// crashed-and-respawned rank re-enters from its snapshot; ck stays nil
+	// (and Boundary a no-op) on the fault-free fast path.
+	var ck *Checkpoint[K]
+	if c.FaultInjector() != nil {
+		ck = &Checkpoint[K]{}
+	}
+	return sortSteps[K](c, local, ops, cfg, ck)
+}
+
+// sortSteps runs the four supersteps of §V.
+func sortSteps[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config, ck *Checkpoint[K]) ([]K, error) {
 	p := c.Size()
 	model := c.Model()
 	scale := cfg.scale()
@@ -64,14 +208,9 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		rec.Finish()
 		return sorted, nil
 	}
-	// Fault-injecting worlds checkpoint at every superstep boundary so a
-	// crashed-and-respawned rank re-enters from its snapshot; ck stays nil
-	// (and Boundary a no-op) on the fault-free fast path.
-	var ck *Checkpoint[K]
-	if c.FaultInjector() != nil {
-		ck = &Checkpoint[K]{}
+	if err := ck.Boundary(c, ops, cfg, StepLocalSort, &sorted, nil, nil); err != nil {
+		return nil, err
 	}
-	ck.Boundary(c, ops, cfg, StepLocalSort, &sorted, nil, nil)
 
 	// Superstep 2: Splitting.  Targets are the capacity prefix sums of
 	// Definition 3; the tolerance comes from Definition 1.
@@ -90,12 +229,16 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 	rec.Enter(metrics.Histogram)
 	splitters, _ := FindSplitters(c, sorted, ops, targets, tol, cfg)
-	ck.Boundary(c, ops, cfg, StepSplitting, &sorted, &splitters, nil)
+	if err := ck.Boundary(c, ops, cfg, StepSplitting, &sorted, &splitters, nil); err != nil {
+		return nil, err
+	}
 
 	// Superstep 3: Data Exchange (permutation matrix + ALLTOALLV).
 	rec.Enter(metrics.Other)
 	cuts := ComputeCuts(c, sorted, ops, splitters, targets, cfg)
-	ck.Boundary(c, ops, cfg, StepCuts, &sorted, &splitters, &cuts)
+	if err := ck.Boundary(c, ops, cfg, StepCuts, &sorted, &splitters, &cuts); err != nil {
+		return nil, err
+	}
 	rec.Enter(metrics.Exchange)
 	out := ExchangeAndMergeArena(c, sorted, ops, cuts, cfg, ar) // enters Merge internally
 	rec.Finish()
@@ -104,7 +247,9 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 // IsGloballySorted verifies the output invariant collectively: every local
 // partition is sorted and no element orders after the first element of the
-// next non-empty rank.  The verdict is returned on every rank.
+// next non-empty rank.  The verdict is returned on every rank.  After a
+// shrink recovery, run it on the effective communicator SortResilient
+// returned.
 func IsGloballySorted[K any](c *comm.Comm, local []K, ops keys.Ops[K]) bool {
 	ok := sortutil.IsSorted(local, ops.Less)
 	// Share boundary elements: every rank publishes (has, first, last).

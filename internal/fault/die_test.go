@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestParseDieRoundTrip pins the die=RANK@STEP syntax through the
+// Parse -> String -> Parse fixpoint, alone and mixed with every other field.
+func TestParseDieRoundTrip(t *testing.T) {
+	specs := []string{
+		"die=5@1,seed=3",
+		"die=5@1,die=3@1,die=0@2,seed=3",
+		"drop=0.03,die=3@1,crash=7@2,stall=1@1:200us,watchdog=30s,seed=7",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q) = %q): %v", spec, p.String(), err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Errorf("round trip of %q: %+v != %+v", spec, p, q)
+		}
+	}
+}
+
+// TestParseDieCanonicalOrder pins that the death schedule is canonicalised
+// (step-major, then rank) independent of the spelling order.
+func TestParseDieCanonicalOrder(t *testing.T) {
+	a, err := Parse("die=9@2,die=3@1,die=5@1,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Death{{Rank: 3, Step: 1}, {Rank: 5, Step: 1}, {Rank: 9, Step: 2}}
+	if !reflect.DeepEqual(a.Deaths, want) {
+		t.Errorf("canonical order: %+v, want %+v", a.Deaths, want)
+	}
+}
+
+// TestValidateDieErrors pins the death-schedule validation: negative rank,
+// step below 1, and one rank dying twice are all rejected.
+func TestValidateDieErrors(t *testing.T) {
+	for _, spec := range []string{
+		"die=3",                       // missing @STEP
+		"die=3@0",                     // step below 1
+		"die=-1@1",                    // negative rank
+		"die=3@1,die=3@2" + ",seed=1", // rank 3 dies twice
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid death schedule", spec)
+		}
+	}
+}
+
+// TestDieSchedule pins the injector's death queries: DieAt answers exactly
+// the scheduled (rank, step) pairs, and Deaths reports schedule presence.
+func TestDieSchedule(t *testing.T) {
+	in, err := New(Plan{Seed: 1, Deaths: []Death{{Rank: 3, Step: 1}, {Rank: 9, Step: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Deaths() {
+		t.Error("Deaths() false with a scheduled death")
+	}
+	for rank := 0; rank < 12; rank++ {
+		for step := 1; step <= 3; step++ {
+			want := (rank == 3 && step == 1) || (rank == 9 && step == 2)
+			if got := in.DieAt(rank, step); got != want {
+				t.Errorf("DieAt(%d, %d) = %v, want %v", rank, step, got, want)
+			}
+		}
+	}
+	none, err := New(Plan{Seed: 1, DropRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Deaths() {
+		t.Error("Deaths() true without a death schedule")
+	}
+	var nilInj *Injector
+	if nilInj.Deaths() || nilInj.DieAt(0, 1) {
+		t.Error("nil injector must report no deaths")
+	}
+}
+
+// FuzzParseRoundTrip fuzzes the CLI fault syntax: any spec Parse accepts
+// must render (String) back to a spec that parses to the identical plan —
+// the canonical-form fixpoint the -fault flag plumbing relies on.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"drop=0.01,seed=7",
+		"drop=0.01,dup=0.005,delay=0.02:50us,reorder=0.01,seed=7",
+		"crash=3@2,stall=1@1:200us,die=5@1,watchdog=30s,seed=9",
+		"die=5@1,die=3@1,seed=3",
+		"die=0@1",
+		"delay=0.5:1ms",
+		"delay=00:1s", // zero-rate jitter bound: must normalize away
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if !utf8.ValidString(spec) {
+			t.Skip()
+		}
+		p, err := Parse(spec)
+		if err != nil {
+			t.Skip() // rejected specs have no canonical form
+		}
+		canon := p.String()
+		q, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse rejects its own rendering %q of %q: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Errorf("round trip of %q via %q: %+v != %+v", spec, canon, p, q)
+		}
+		if again := q.String(); again != canon {
+			t.Errorf("String not a fixpoint: %q -> %q", canon, again)
+		}
+	})
+}

@@ -43,6 +43,15 @@ type Stall struct {
 	D    time.Duration
 }
 
+// Death schedules one rank to fail permanently immediately after completing
+// the given superstep (1-based).  Unlike a Crash there is no respawn: the
+// rank leaves the computation for good and the survivors must notice
+// (ErrRankDead), agree, and continue on a shrunken communicator.
+type Death struct {
+	Rank int
+	Step int
+}
+
 // Plan is a seeded fault schedule.  The zero value injects nothing.
 type Plan struct {
 	// Seed drives every probabilistic decision; two runs with the same
@@ -68,9 +77,10 @@ type Plan struct {
 	// numbers restore delivery order.
 	ReorderRate float64
 
-	// Crashes and Stalls are the scheduled rank-level faults.
+	// Crashes, Stalls and Deaths are the scheduled rank-level faults.
 	Crashes []Crash
 	Stalls  []Stall
+	Deaths  []Death
 
 	// Watchdog, when positive, bounds how long a receive may block on the
 	// wall clock before the rank declares the sender dead and aborts the
@@ -81,7 +91,7 @@ type Plan struct {
 
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
-	return p.MessageFaults() || len(p.Crashes) > 0 || len(p.Stalls) > 0
+	return p.MessageFaults() || len(p.Crashes) > 0 || len(p.Stalls) > 0 || len(p.Deaths) > 0
 }
 
 // MessageFaults reports whether any message-level fault rate is active —
@@ -132,6 +142,16 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("fault: stall %d@%d:%v needs rank >= 0, step >= 1 and a positive duration", s.Rank, s.Step, s.D)
 		}
 	}
+	seen := make(map[int]bool, len(p.Deaths))
+	for _, d := range p.Deaths {
+		if d.Rank < 0 || d.Step < 1 {
+			return fmt.Errorf("fault: die %d@%d needs rank >= 0 and step >= 1", d.Rank, d.Step)
+		}
+		if seen[d.Rank] {
+			return fmt.Errorf("fault: rank %d scheduled to die more than once", d.Rank)
+		}
+		seen[d.Rank] = true
+	}
 	return nil
 }
 
@@ -165,6 +185,9 @@ func (p Plan) String() string {
 	for _, s := range p.Stalls {
 		add(fmt.Sprintf("stall=%d@%d:%v", s.Rank, s.Step, s.D))
 	}
+	for _, d := range p.Deaths {
+		add(fmt.Sprintf("die=%d@%d", d.Rank, d.Step))
+	}
 	if p.Watchdog > 0 {
 		add(fmt.Sprintf("watchdog=%v", p.Watchdog))
 	}
@@ -176,10 +199,11 @@ func (p Plan) String() string {
 // -fault flags:
 //
 //	drop=0.01,dup=0.005,delay=0.02:50us,reorder=0.01,seed=7
-//	crash=3@2,stall=1@1:200us,watchdog=30s
+//	crash=3@2,stall=1@1:200us,die=5@1,watchdog=30s
 //
-// crash=RANK@STEP and stall=RANK@STEP:DUR may repeat; delay takes an
-// optional :MAXJITTER suffix.  An empty string parses to the zero plan.
+// crash=RANK@STEP, stall=RANK@STEP:DUR and die=RANK@STEP may repeat; delay
+// takes an optional :MAXJITTER suffix.  An empty string parses to the zero
+// plan.
 func Parse(spec string) (Plan, error) {
 	var p Plan
 	if strings.TrimSpace(spec) == "" {
@@ -228,8 +252,12 @@ func Parse(spec string) (Plan, error) {
 				d, err = time.ParseDuration(dur)
 			}
 			p.Stalls = append(p.Stalls, Stall{Rank: rank, Step: step, D: d})
+		case "die":
+			var rank, step int
+			rank, step, err = parseRankStep(key, val)
+			p.Deaths = append(p.Deaths, Death{Rank: rank, Step: step})
 		default:
-			return Plan{}, fmt.Errorf("fault: unknown field %q (want drop|dup|delay|reorder|crash|stall|seed|watchdog)", key)
+			return Plan{}, fmt.Errorf("fault: unknown field %q (want drop|dup|delay|reorder|crash|stall|die|seed|watchdog)", key)
 		}
 		if err != nil {
 			return Plan{}, fmt.Errorf("fault: field %q: %w", field, err)
@@ -249,6 +277,18 @@ func Parse(spec string) (Plan, error) {
 		}
 		return p.Stalls[i].Rank < p.Stalls[j].Rank
 	})
+	sort.SliceStable(p.Deaths, func(i, j int) bool {
+		if p.Deaths[i].Step != p.Deaths[j].Step {
+			return p.Deaths[i].Step < p.Deaths[j].Step
+		}
+		return p.Deaths[i].Rank < p.Deaths[j].Rank
+	})
+	// A jitter bound without a positive delay rate can never fire; drop it
+	// so the canonical rendering (which omits the delay field entirely)
+	// round-trips to the identical plan.
+	if p.DelayRate == 0 {
+		p.MaxDelay = 0
+	}
 	if err := p.Validate(); err != nil {
 		return Plan{}, err
 	}

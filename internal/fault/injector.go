@@ -26,6 +26,7 @@ type Injector struct {
 	plan  Plan
 	crash map[rankStep]struct{}
 	stall map[rankStep]time.Duration
+	die   map[rankStep]struct{}
 }
 
 type rankStep struct{ rank, step int }
@@ -51,6 +52,12 @@ func New(p Plan) (*Injector, error) {
 		in.stall = make(map[rankStep]time.Duration, len(p.Stalls))
 		for _, s := range p.Stalls {
 			in.stall[rankStep{s.Rank, s.Step}] += s.D
+		}
+	}
+	if len(p.Deaths) > 0 {
+		in.die = make(map[rankStep]struct{}, len(p.Deaths))
+		for _, d := range p.Deaths {
+			in.die[rankStep{d.Rank, d.Step}] = struct{}{}
 		}
 	}
 	return in, nil
@@ -139,6 +146,21 @@ func (in *Injector) StallAt(rank, step int) time.Duration {
 		return 0
 	}
 	return in.stall[rankStep{rank, step}]
+}
+
+// DieAt reports whether the rank is scheduled to die permanently right
+// after completing the given superstep.
+func (in *Injector) DieAt(rank, step int) bool {
+	if in == nil {
+		return false
+	}
+	_, ok := in.die[rankStep{rank, step}]
+	return ok
+}
+
+// Deaths reports whether the plan schedules any permanent rank deaths.
+func (in *Injector) Deaths() bool {
+	return in != nil && len(in.plan.Deaths) > 0
 }
 
 // uniform maps (seed, salt, key) to [0, 1) with 53 bits of precision.

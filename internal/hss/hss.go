@@ -15,6 +15,7 @@
 package hss
 
 import (
+	"errors"
 	"runtime"
 
 	"dhsort/internal/comm"
@@ -55,6 +56,10 @@ type Config struct {
 	// (see core.Config.Threads).  Zero means runtime.GOMAXPROCS(0); set 1
 	// for reproducible virtual clocks.
 	Threads int
+	// Recovery selects how the sort survives a permanent rank death (see
+	// core.Config.Recovery): core.RecoveryRespawn (or "") aborts on death;
+	// core.RecoveryShrink continues on the survivors.
+	Recovery string
 	// Recorder receives phase timings and iteration counts.
 	Recorder *metrics.Recorder
 }
@@ -79,6 +84,7 @@ func (cfg Config) coreCfg() core.Config {
 		Exchange:     cfg.Exchange,
 		VirtualScale: cfg.VirtualScale,
 		Threads:      cfg.Threads,
+		Recovery:     cfg.Recovery,
 		Recorder:     cfg.Recorder,
 	}
 }
@@ -95,18 +101,80 @@ func (cfg Config) threads() int {
 // partition.  The supersteps match §III-B: sample, iteratively histogram
 // the probe vector, then one ALLTOALLV exchange and a local merge.
 func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	out, _, err := SortResilient(c, local, ops, cfg)
+	return out, err
+}
+
+// SortResilient is Sort returning the effective communicator the result
+// lives on — c itself, or the shrunken survivor communicator after a
+// permanent rank death under Config.Recovery == core.RecoveryShrink (see
+// core.SortResilient; the semantics are identical).
+func SortResilient[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, *comm.Comm, error) {
 	if !cfg.ForceUnique {
-		return sortImpl[K](c, local, ops, cfg)
+		return sortResilient[K](c, local, ops, cfg)
 	}
 	triples := keys.MakeUnique(local, c.Rank())
-	out, err := sortImpl[keys.Triple[K]](c, triples, keys.NewTripleOps(ops), cfg)
+	out, eff, err := sortResilient[keys.Triple[K]](c, triples, keys.NewTripleOps(ops), cfg)
 	if err != nil {
-		return nil, err
+		return nil, eff, err
 	}
-	return keys.StripUnique(out), nil
+	return keys.StripUnique(out), eff, nil
+}
+
+// sortResilient mirrors core's dispatch between the plain run and the
+// ULFM-style shrink-recovery loop (revoke → agree → shrink → adopt → redo).
+func sortResilient[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, *comm.Comm, error) {
+	if c.FaultInjector() == nil || cfg.Recovery != core.RecoveryShrink {
+		out, err := sortImpl[K](c, local, ops, cfg)
+		return out, c, err
+	}
+	eff := c
+	work := local
+	for {
+		var (
+			out     []K
+			sortErr error
+			ck      *core.Checkpoint[K]
+		)
+		err := comm.Try(func() {
+			ck = &core.Checkpoint[K]{}
+			out, sortErr = sortSteps[K](eff, work, ops, cfg, ck)
+		})
+		if err == nil {
+			err = sortErr
+		}
+		if err == nil {
+			return out, eff, nil
+		}
+		var fe *comm.FailureError
+		if !errors.As(err, &fe) {
+			return nil, eff, err
+		}
+		next, adopted, rerr := core.ShrinkRecover[K](eff, ck, fe, cfg.Recorder)
+		if rerr != nil {
+			return nil, eff, rerr
+		}
+		if len(adopted) > 0 {
+			merged := make([]K, 0, len(work)+len(adopted))
+			merged = append(merged, work...)
+			merged = append(merged, adopted...)
+			work = merged
+		}
+		eff = next
+	}
 }
 
 func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	// Fault-injecting worlds checkpoint at every superstep boundary, as in
+	// core; ck stays nil (no-op boundaries) on the fault-free fast path.
+	var ck *core.Checkpoint[K]
+	if c.FaultInjector() != nil {
+		ck = &core.Checkpoint[K]{}
+	}
+	return sortSteps[K](c, local, ops, cfg, ck)
+}
+
+func sortSteps[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config, ck *core.Checkpoint[K]) ([]K, error) {
 	p := c.Size()
 	model := c.Model()
 	rec := cfg.Recorder
@@ -132,13 +200,9 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 		rec.Finish()
 		return sorted, nil
 	}
-	// Superstep checkpointing under fault injection, exactly as in core:
-	// ck stays nil (no-op boundaries) on the fault-free fast path.
-	var ck *core.Checkpoint[K]
-	if c.FaultInjector() != nil {
-		ck = &core.Checkpoint[K]{}
+	if err := ck.Boundary(c, ops, cfg.coreCfg(), core.StepLocalSort, &sorted, nil, nil); err != nil {
+		return nil, err
 	}
-	ck.Boundary(c, ops, cfg.coreCfg(), core.StepLocalSort, &sorted, nil, nil)
 
 	rec.Enter(metrics.Other)
 	capacities := comm.AllgatherOne(c, int64(len(local)))
@@ -155,11 +219,15 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 	rec.Enter(metrics.Histogram)
 	splitters := FindSplittersSampled(c, sorted, ops, targets, tol, cfg)
-	ck.Boundary(c, ops, cfg.coreCfg(), core.StepSplitting, &sorted, &splitters, nil)
+	if err := ck.Boundary(c, ops, cfg.coreCfg(), core.StepSplitting, &sorted, &splitters, nil); err != nil {
+		return nil, err
+	}
 
 	rec.Enter(metrics.Other)
 	cuts := core.ComputeCuts(c, sorted, ops, splitters, targets, cfg.coreCfg())
-	ck.Boundary(c, ops, cfg.coreCfg(), core.StepCuts, &sorted, &splitters, &cuts)
+	if err := ck.Boundary(c, ops, cfg.coreCfg(), core.StepCuts, &sorted, &splitters, &cuts); err != nil {
+		return nil, err
+	}
 	rec.Enter(metrics.Exchange)
 	out := core.ExchangeAndMergeArena(c, sorted, ops, cuts, cfg.coreCfg(), ar)
 	rec.Finish()

@@ -81,6 +81,11 @@ type FaultTally struct {
 	RecoveryNS      int64
 	Stalls          int64
 	StallNS         int64
+	// Graceful-degradation level (recorded by the shrink recovery path).
+	Deaths      int64
+	AgreeRounds int64
+	Shrinks     int64
+	ShrinkNS    int64
 }
 
 // Any reports whether the tally recorded any fault-plane activity.
@@ -103,6 +108,10 @@ func (t *FaultTally) add(o FaultTally) {
 	t.RecoveryNS += o.RecoveryNS
 	t.Stalls += o.Stalls
 	t.StallNS += o.StallNS
+	t.Deaths += o.Deaths
+	t.AgreeRounds += o.AgreeRounds
+	t.Shrinks += o.Shrinks
+	t.ShrinkNS += o.ShrinkNS
 }
 
 // Recorder accumulates one rank's per-phase time (against its clock, wall
@@ -144,6 +153,9 @@ type Recorder struct {
 	// folded in at phase boundaries, checkpoint/recovery recorded by the
 	// superstep boundaries).  Zero in fault-free runs.
 	Fault FaultTally
+	// Survivors is the size of the communicator this rank finished on
+	// after a shrink recovery (0 when the run never shrank).
+	Survivors int
 	// FaultSpans is the rank's fault-event timeline (capped; see
 	// trace.AddFaultSpan for the overflow rule applied here too).
 	FaultSpans        []trace.FaultSpan
@@ -262,6 +274,35 @@ func (r *Recorder) AddRecovery(d time.Duration) {
 	}
 }
 
+// AddDeath accounts this rank's own scheduled permanent death (recorded
+// just before the rank leaves the computation).  A dead rank finishes on
+// no communicator, so any survivor count from an earlier shrink is
+// cleared.
+func (r *Recorder) AddDeath() {
+	if r != nil {
+		r.Fault.Deaths++
+		r.Survivors = 0
+	}
+}
+
+// AddAgreeRounds accounts the message rounds one fault-tolerant agreement
+// took on this rank.
+func (r *Recorder) AddAgreeRounds(n int) {
+	if r != nil {
+		r.Fault.AgreeRounds += int64(n)
+	}
+}
+
+// AddShrink accounts one revoke/agree/shrink recovery pass that took d of
+// virtual time and left the rank on a communicator of the given size.
+func (r *Recorder) AddShrink(d time.Duration, survivors int) {
+	if r != nil {
+		r.Fault.Shrinks++
+		r.Fault.ShrinkNS += int64(d)
+		r.Survivors = survivors
+	}
+}
+
 // AddStall accounts one injected rank stall of duration d.
 func (r *Recorder) AddStall(d time.Duration) {
 	if r != nil {
@@ -331,6 +372,9 @@ type Summary struct {
 	// Fault is the fault-plane activity summed across ranks (zero in
 	// fault-free runs).
 	Fault FaultTally
+	// Survivors is the size of the communicator the run finished on after
+	// a shrink recovery — the max across ranks (0 when no rank shrank).
+	Survivors int
 	// FaultEvents counts the fault-event spans recorded across ranks
 	// (including any dropped past the per-rank cap).
 	FaultEvents int64
@@ -379,6 +423,9 @@ func Summarize(recs []*Recorder) Summary {
 			s.Threads = r.Threads
 		}
 		s.Fault.add(r.Fault)
+		if r.Survivors > s.Survivors {
+			s.Survivors = r.Survivors
+		}
 		s.FaultEvents += int64(len(r.FaultSpans) + r.FaultSpansDropped)
 	}
 	if s.Ranks > 0 {

@@ -119,6 +119,11 @@ type FaultStat struct {
 	RecoveryNS      int64 `json:"recovery_ns,omitempty"`
 	Stalls          int64 `json:"stalls,omitempty"`
 	StallNS         int64 `json:"stall_ns,omitempty"`
+	Deaths          int64 `json:"deaths,omitempty"`
+	AgreeRounds     int64 `json:"agree_rounds,omitempty"`
+	Shrinks         int64 `json:"shrinks,omitempty"`
+	ShrinkNS        int64 `json:"shrink_ns,omitempty"`
+	Survivors       int   `json:"survivors,omitempty"`
 }
 
 // Imbalance carries the run's load-imbalance factors (1.0 = balanced).
@@ -163,6 +168,10 @@ type Record struct {
 	// OPTIONAL: nil (omitted) for fault-free records, so pre-existing
 	// documents stay byte-identical.
 	Fault *FaultStat `json:"fault,omitempty"`
+	// Recovery names the recovery mode the record ran under ("respawn" or
+	// "shrink").  OPTIONAL: omitted for fault-free records and for runs
+	// that did not set one, preserving byte-identity.
+	Recovery string `json:"recovery,omitempty"`
 	// Phases holds the per-superstep breakdown of the first repetition,
 	// keyed by phase name (LocalSort, Histogram, Exchange, Merge, Other).
 	Phases map[string]PhaseStat `json:"phases"`
@@ -219,6 +228,9 @@ func NewRecord(algorithm string, p, perRank int, workload string, makespans []ti
 			Checkpoints: s.Fault.Checkpoints, CheckpointBytes: s.Fault.CheckpointBytes,
 			Recoveries: s.Fault.Recoveries, RecoveryNS: s.Fault.RecoveryNS,
 			Stalls: s.Fault.Stalls, StallNS: s.Fault.StallNS,
+			Deaths: s.Fault.Deaths, AgreeRounds: s.Fault.AgreeRounds,
+			Shrinks: s.Fault.Shrinks, ShrinkNS: s.Fault.ShrinkNS,
+			Survivors: s.Survivors,
 		}
 	}
 	return Record{

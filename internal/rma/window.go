@@ -112,7 +112,7 @@ func New[T any](c *comm.Comm, localLen int) *Window[T] {
 		if model != nil {
 			arrival = c.Clock().Now() + model.Latency(c.WorldRank(), c.WorldRankOf(dst))
 		}
-		c.PostRaw(dst, w.handleTag, own, arrival)
+		c.PostReliable(dst, w.handleTag, own, arrival)
 	}
 	for src := 0; src < c.Size(); src++ {
 		if src == c.Rank() {
@@ -152,6 +152,7 @@ func elemBytes[T any]() int {
 // put copies data into dst's window and returns the link class and priced
 // volume (virtual-mode bookkeeping is done by the callers).
 func (w *Window[T]) put(dst, off int, data []T, byteScale float64) (simnet.LinkClass, int) {
+	w.c.CheckRevoked()
 	w.checkRegion(dst, off, len(data))
 	if byteScale <= 0 {
 		byteScale = 1
@@ -209,7 +210,10 @@ func (w *Window[T]) PutNotifyScaled(dst, off int, data []T, value int, byteScale
 		}
 		arrival += delay
 	}
-	w.c.PostRaw(dst, w.notifyTag, notifyMsg{Off: off, N: len(data), Value: value}, arrival)
+	// The notification rides the reliable transport: under drop injection it
+	// is sequenced, retransmitted and deduplicated like a two-sided message,
+	// so the put-based exchange survives lossy links.
+	w.c.PostReliable(dst, w.notifyTag, notifyMsg{Off: off, N: len(data), Value: value}, arrival)
 	w.c.Stats().RecordNotify(lc)
 }
 
@@ -219,6 +223,7 @@ func (w *Window[T]) PutNotifyScaled(dst, off int, data []T, value int, byteScale
 // completion and orders subsequent reads of the flagged region after the
 // origin's writes.
 func (w *Window[T]) WaitNotify(src int) Notification {
+	w.c.CheckRevoked()
 	payload, origin := w.c.RecvRaw(src, w.notifyTag)
 	n := payload.(notifyMsg)
 	return Notification{Origin: origin, Off: n.Off, N: n.N, Value: n.Value}
