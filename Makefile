@@ -1,6 +1,13 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink
+.PHONY: ci test race chaos chaos-repro bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew
+
+# Chaos tier defaults; override per invocation, e.g.
+#   make chaos SEED=12345 COUNT=256
+#   make chaos-repro SEED=12345 SCENARIO=17
+SEED ?= 20260807
+COUNT ?= 64
+SCENARIO ?= 0
 
 ci:
 	./ci.sh
@@ -10,6 +17,16 @@ test:
 
 race:
 	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault
+
+# Tier-2 chaos oracle: a seeded corpus of composed skew x fault x recovery x
+# backend scenarios.  Failures print the exact repro command.
+chaos:
+	go run ./cmd/chaos -seed $(SEED) -count $(COUNT)
+
+# Replay one scenario bit-identically (seed + index fully determine it):
+#   make chaos-repro SEED=20260807 SCENARIO=17
+chaos-repro:
+	go run ./cmd/chaos -seed $(SEED) -scenario $(SCENARIO) -v
 
 # Tiny deterministic grid for CI; artifact uploaded by the workflow.  The
 # second run engages the parallel intra-rank kernels (-threads 2).
@@ -46,3 +63,9 @@ bench-fault:
 # and survivor counts per schedule.
 bench-shrink:
 	go run ./cmd/bench -exp shrink
+
+# Skew ablation (PGX.D-style duplicate floods): output imbalance vs flood
+# fraction for value-only samplesort splitters, tie-broken splitters, and
+# the histogram sort's count-exact splitting.
+bench-skew:
+	go run ./cmd/bench -exp skew

@@ -1,12 +1,14 @@
 #!/usr/bin/env sh
-# ci.sh — the repo's single-command quality gate, run locally and by
+# ci.sh — the repo's tiered quality gate, run locally and by
 # .github/workflows/ci.yml:
 #
-#   ./ci.sh          # fmt + vet + build + test + race
-#   ./ci.sh bench    # additionally run the bench smoke and emit BENCH_ci.json
+#   ./ci.sh          # tier 1: fmt + vet + lint + build + test + race (fast)
+#   ./ci.sh bench    # tier 1 + bench smoke, BENCH_ci.json + compare gate
+#   ./ci.sh chaos    # tier 2: the pinned-seed chaos corpus (64 scenarios)
 #
-# Fails (non-zero exit) on any gofmt diff, vet finding, build error, test
-# failure, or data race in the race-sensitive packages.
+# Fails (non-zero exit) on any gofmt diff, vet finding, lint finding, build
+# error, test failure, data race in the race-sensitive packages, benchmark
+# regression beyond the threshold, or chaos-oracle violation.
 set -eu
 
 # Race-sensitive packages: the message-passing substrate, the one-sided RMA
@@ -26,6 +28,21 @@ fi
 
 echo "== go vet"
 go vet ./...
+
+# Static analysis beyond vet: run when the tools are on PATH (the workflow
+# installs pinned versions; local sandboxes without network skip with a note).
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck"
+    staticcheck ./...
+else
+    echo "== staticcheck (skipped: not installed)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck"
+    govulncheck ./...
+else
+    echo "== govulncheck (skipped: not installed)"
+fi
 
 echo "== go build"
 go build ./...
@@ -52,6 +69,20 @@ if [ "${1:-}" = "bench" ]; then
     # conservative one the compare gate tracks.
     echo "== bench smoke, threaded kernels (BENCH_ci_t2.json)"
     go run ./cmd/bench -json BENCH_ci_t2.json -smoke -threads 2
+
+    # Regression gate: hold the smoke run against the committed full
+    # baseline on the grid points both cover (exit 3 on regression).
+    echo "== bench compare gate (BENCH_ci.json vs committed BENCH_full.json)"
+    go run ./cmd/bench -compare BENCH_full.json -with BENCH_ci.json -subset
+fi
+
+if [ "${1:-}" = "chaos" ]; then
+    # Tier 2: the pinned-seed chaos corpus — 64 composed skew × fault ×
+    # recovery × backend scenarios, each checked for sortedness, multiset
+    # identity, imbalance and bit-identical replay.  A failure prints the
+    # exact single-scenario repro command (also: make chaos-repro).
+    echo "== chaos corpus (pinned seed 20260807, 64 scenarios)"
+    go run ./cmd/chaos -seed 20260807 -count 64
 fi
 
 echo "== ci OK"

@@ -12,9 +12,13 @@
 //	bench -json BENCH_ci.json -smoke         # tiny CI grid
 //	bench -compare old.json -json new.json   # run, write, diff vs old
 //	bench -compare old.json -with new.json   # diff two existing files
+//	bench -compare BENCH_full.json -with BENCH_ci.json -subset
+//	                                         # gate only the grid points both cover
 //
 // -compare exits with status 3 when any tracked metric regressed by more
-// than -threshold (default 10%) or a record disappeared.
+// than -threshold (default 10%) or a record disappeared (-subset waives
+// the disappearance check so a smoke document can gate against the full
+// baseline).
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 		smoke     = flag.Bool("smoke", false, "with -json/-compare: tiny grid for CI smoke runs")
 		compare   = flag.String("compare", "", "baseline JSON document to diff against (regression gate)")
 		with      = flag.String("with", "", "with -compare: diff this existing document instead of running the suite")
+		subset    = flag.Bool("subset", false, "with -compare: gate only the baseline records the new document covers (smoke vs full)")
 		threshold = flag.Float64("threshold", metrics.DefaultThreshold, "relative growth counting as a regression")
 		fspec     = flag.String("fault", "", "seeded fault schedule applied to the metrics suite (and as an extra row of the fault experiment), e.g. drop=0.01,seed=7")
 		recovery  = flag.String("recovery", "respawn", "permanent-death (die=) recovery mode for the metrics suite: respawn|shrink")
@@ -60,7 +65,7 @@ func main() {
 	}
 
 	if *jsonOut != "" || *compare != "" {
-		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *reps, *seed, *threads, *threshold, plan, *recovery))
+		os.Exit(metricsMode(*jsonOut, *compare, *with, *smoke, *subset, *reps, *seed, *threads, *threshold, plan, *recovery))
 	}
 
 	opts := bench.Options{Out: os.Stdout, Reps: *reps, Full: *full, Seed: *seed, Threads: *threads, Fault: plan}
@@ -90,7 +95,7 @@ func main() {
 
 // metricsMode runs the JSON suite and/or the regression gate; the return
 // value is the process exit status (0 ok, 1 error, 3 regression).
-func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint64, threads int, threshold float64, plan fault.Plan, recovery string) int {
+func metricsMode(jsonOut, compare, with string, smoke, subset bool, reps int, seed uint64, threads int, threshold float64, plan fault.Plan, recovery string) int {
 	var doc metrics.Document
 	switch {
 	case with != "":
@@ -141,7 +146,11 @@ func metricsMode(jsonOut, compare, with string, smoke bool, reps int, seed uint6
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 1
 	}
-	res, err := metrics.Compare(old, doc, threshold)
+	cmp := metrics.Compare
+	if subset {
+		cmp = metrics.CompareSubset
+	}
+	res, err := cmp(old, doc, threshold)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 1

@@ -1,0 +1,92 @@
+// Command chaos runs the seeded chaos oracle: deterministic corpora of
+// composed skew × fault × recovery × backend scenarios, each verified
+// against sortedness, multiset identity, imbalance and replay determinism.
+//
+// Usage:
+//
+//	chaos -seed 20260807 -count 64         # run a pinned corpus (the CI tier)
+//	chaos -seed 20260807 -scenario 17 -v   # replay one scenario exactly
+//	chaos -list -seed 20260807 -count 64   # print the corpus without running
+//
+// On failure it prints each failing scenario's oracle violations and the
+// exact single-scenario repro command, optionally appending them to a file
+// (-failures) for CI artifact upload, and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dhsort/internal/chaos"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 20260807, "corpus seed (scenarios are a pure function of seed and index)")
+		count    = flag.Int("count", 64, "number of scenarios to generate and run")
+		scenario = flag.Int("scenario", -1, "run only this scenario index (repro mode)")
+		list     = flag.Bool("list", false, "print the corpus without running it")
+		failures = flag.String("failures", "", "append failing seeds + repro commands to this file")
+		verbose  = flag.Bool("v", false, "print every scenario as it runs")
+	)
+	flag.Parse()
+
+	if *scenario >= 0 {
+		sc := chaos.Generate(*seed, *scenario)
+		fmt.Println(sc)
+		res := chaos.Run(sc)
+		if res.Pass() {
+			fmt.Printf("PASS  makespan=%v digest=%016x\n", res.Makespan, res.Digest)
+			return
+		}
+		for _, f := range res.Failures {
+			fmt.Printf("FAIL  %s\n", f)
+		}
+		os.Exit(1)
+	}
+
+	corpus := chaos.Corpus(*seed, *count)
+	if *list {
+		for _, sc := range corpus {
+			fmt.Println(sc)
+		}
+		return
+	}
+
+	var failed []chaos.Result
+	for _, sc := range corpus {
+		if *verbose {
+			fmt.Println(sc)
+		}
+		res := chaos.Run(sc)
+		if !res.Pass() {
+			failed = append(failed, res)
+			fmt.Printf("FAIL %s\n", sc)
+			for _, f := range res.Failures {
+				fmt.Printf("     %s\n", f)
+			}
+			fmt.Printf("     repro: %s\n", chaos.ReproCommand(sc))
+		}
+	}
+	fmt.Printf("chaos: %d/%d scenarios passed (seed %d)\n", len(corpus)-len(failed), len(corpus), *seed)
+	if len(failed) == 0 {
+		return
+	}
+	if *failures != "" {
+		f, err := os.OpenFile(*failures, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: writing failures file: %v\n", err)
+		} else {
+			for _, r := range failed {
+				fmt.Fprintf(f, "seed=%d scenario=%d: %s\n  repro: %s\n",
+					r.Scenario.Seed, r.Scenario.Index, r.Scenario, chaos.ReproCommand(r.Scenario))
+				for _, msg := range r.Failures {
+					fmt.Fprintf(f, "  %s\n", msg)
+				}
+			}
+			f.Close()
+		}
+	}
+	os.Exit(1)
+}

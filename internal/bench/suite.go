@@ -70,9 +70,12 @@ type suiteGrid struct {
 
 func (o SuiteOptions) grid() suiteGrid {
 	if o.Smoke {
+		// A true subset of the full grid (same p, perRank and workload as
+		// one full point) so CompareSubset can gate a smoke document
+		// against the committed BENCH_full.json.
 		return suiteGrid{
-			ps:        []int{8},
-			perRank:   512,
+			ps:        []int{16},
+			perRank:   4096,
 			workloads: []workload.Distribution{workload.Uniform},
 		}
 	}

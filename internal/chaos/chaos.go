@@ -1,0 +1,433 @@
+// Package chaos is the seeded chaos oracle: a deterministic scenario
+// generator that composes adversarial workload distributions, fault plans
+// (drop/dup/delay/reorder/crash/stall/die), recovery modes (respawn/
+// shrink), exchange backends (ALLTOALLV, fused one-factor, one-sided RMA
+// put) and run shapes (P, N, threads) into black-box sorting runs, each
+// checked against a four-way oracle:
+//
+//  1. sortedness + global boundary order — the concatenation of the output
+//     partitions in world-rank order is non-decreasing;
+//  2. multiset identity — that concatenation is exactly the sorted multiset
+//     of every rank's input (elements are neither lost, duplicated, nor
+//     invented, even across crash respawns and shrink recoveries);
+//  3. imbalance — fault-free scenarios respect the Definition 1 bound
+//     (exactly for ε = 0); death scenarios redistribute capacity by design
+//     and skip this check;
+//  4. replay determinism — the same scenario run twice produces
+//     bit-identical outputs and the identical virtual makespan.
+//
+// Every scenario is a pure function of (corpus seed, index), so a failure
+// anywhere reproduces from two integers; ReproCommand renders the exact
+// command line.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/core"
+	"dhsort/internal/fault"
+	"dhsort/internal/hss"
+	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
+	"dhsort/internal/prng"
+	"dhsort/internal/simnet"
+	"dhsort/internal/workload"
+)
+
+// Algorithms the oracle composes over: the sorters with checkpointed
+// supersteps and a shrink-recovery path.  Their names select the exchange
+// backend too — dhsort runs the ALLTOALLV schedules, dhsort-fused the
+// 1-factor exchange fused with merging, dhsort-rma the one-sided
+// put+notify exchange.
+var Algorithms = []string{"dhsort", "dhsort-fused", "dhsort-rma", "hss"}
+
+// Distributions the generator draws workloads from: the standard grid plus
+// every adversarial spec.
+var distributions = []workload.Distribution{
+	workload.Uniform, workload.Normal, workload.Zipf, workload.NearlySorted,
+	workload.DuplicateHeavy, workload.AllEqual, workload.Shifted,
+	workload.ReverseSorted, workload.DuplicateFlood, workload.SortedOutliers,
+}
+
+// watchdog bounds how long any blocked receive may wait on the wall clock
+// before the run aborts with a diagnostic instead of wedging CI.
+const watchdog = 60 * time.Second
+
+// Scenario is one composed black-box run, fully determined by (Seed, Index).
+type Scenario struct {
+	// Index is the scenario's position in its corpus; Seed is the corpus
+	// seed it was derived from.  Together they reproduce the scenario.
+	Index int
+	Seed  uint64
+
+	// Algorithm is one of Algorithms.
+	Algorithm string
+	// P, PerRank and Threads shape the run.
+	P       int
+	PerRank int
+	Threads int
+	// Dist and FloodFrac pick the workload; Epsilon the balance bound.
+	Dist      workload.Distribution
+	FloodFrac float64
+	Epsilon   float64
+	// Recovery is core.RecoveryRespawn or core.RecoveryShrink (always
+	// shrink when the plan schedules permanent deaths).
+	Recovery string
+	// Rebalance enables the bounded post-merge rebalance.
+	Rebalance bool
+	// Plan is the seeded fault schedule (zero = fault-free).
+	Plan fault.Plan
+}
+
+// String renders a compact one-line description.
+func (s Scenario) String() string {
+	f := s.Plan
+	faults := ""
+	if f.DropRate > 0 {
+		faults += fmt.Sprintf(" drop=%.2f", f.DropRate)
+	}
+	if f.DupRate > 0 {
+		faults += fmt.Sprintf(" dup=%.2f", f.DupRate)
+	}
+	if f.DelayRate > 0 {
+		faults += fmt.Sprintf(" delay=%.2f", f.DelayRate)
+	}
+	if f.ReorderRate > 0 {
+		faults += fmt.Sprintf(" reorder=%.2f", f.ReorderRate)
+	}
+	for _, c := range f.Crashes {
+		faults += fmt.Sprintf(" crash=%d@%d", c.Rank, c.Step)
+	}
+	for _, st := range f.Stalls {
+		faults += fmt.Sprintf(" stall=%d@%d", st.Rank, st.Step)
+	}
+	for _, d := range f.Deaths {
+		faults += fmt.Sprintf(" die=%d@%d", d.Rank, d.Step)
+	}
+	if faults == "" {
+		faults = " fault-free"
+	}
+	extra := ""
+	if s.Rebalance {
+		extra = " rebalance"
+	}
+	return fmt.Sprintf("#%d %s p=%d n=%d t=%d %s eps=%.2f %s%s%s",
+		s.Index, s.Algorithm, s.P, s.PerRank, s.Threads, s.Dist, s.Epsilon, s.Recovery, extra, faults)
+}
+
+// ReproCommand is the exact command replaying one scenario.
+func ReproCommand(s Scenario) string {
+	return fmt.Sprintf("go run ./cmd/chaos -seed %d -scenario %d -v", s.Seed, s.Index)
+}
+
+// Generate derives scenario index of the corpus seeded with seed.  The
+// derivation is a pure function of (seed, index): the same pair always
+// yields the same scenario on every machine.
+func Generate(seed uint64, index int) Scenario {
+	src := prng.NewSplitMix64(seed ^ 0x9e3779b97f4a7c15*uint64(index+1))
+	pick := func(n int) int { return int(prng.Uint64n(src, uint64(n))) }
+	chance := func(pct int) bool { return pick(100) < pct }
+
+	sc := Scenario{
+		Index:     index,
+		Seed:      seed,
+		Algorithm: Algorithms[pick(len(Algorithms))],
+		P:         []int{4, 5, 8, 13, 16}[pick(5)],
+		PerRank:   []int{96, 256, 512, 1024}[pick(4)],
+		Threads:   1 + pick(2),
+		Dist:      distributions[pick(len(distributions))],
+		Epsilon:   []float64{0, 0, 0.1, 0.34}[pick(4)],
+		Recovery:  core.RecoveryRespawn,
+	}
+	if sc.Dist == workload.DuplicateFlood {
+		sc.FloodFrac = []float64{0.25, 0.5, 0.75}[pick(3)]
+	}
+	if chance(25) {
+		sc.Rebalance = true
+	}
+	// HSS interpolation can terminate with a slightly-off splitter on
+	// heavy-duplicate inputs (the paper's §VI-B volatility), and boundary
+	// refinement can only split the duplicate run of the splitter value it
+	// was given — so hss runs always carry the bounded rebalance, which
+	// restores the Definition 1 bound whenever the cuts fell short.  The
+	// dhsort variants are count-exact by construction and draw it randomly.
+	if sc.Algorithm == "hss" {
+		sc.Rebalance = true
+	}
+
+	plan := fault.Plan{Seed: src.Uint64(), Watchdog: watchdog}
+	// Message-level faults on roughly half the corpus.
+	if chance(50) {
+		plan.DropRate = []float64{0.01, 0.02, 0.05}[pick(3)]
+	}
+	if chance(30) {
+		plan.DupRate = 0.02
+	}
+	if chance(30) {
+		plan.DelayRate = 0.05
+	}
+	if chance(30) {
+		plan.ReorderRate = 0.05
+	}
+	// Rank-level faults: crashes respawn from checkpoints, stalls cost
+	// time, deaths force a shrink recovery.  Crashes/deaths fire at the
+	// superstep boundaries 1..3, before the exchange, so every exchange
+	// backend composes with them; deaths take distinct steps so each
+	// shrink pass handles exactly one victim (the ring mirror guarantees
+	// adoptability for a single death per boundary).
+	steps := []int{core.StepLocalSort, core.StepSplitting, core.StepCuts}
+	switch pick(6) {
+	case 0: // one crash
+		plan.Crashes = []fault.Crash{{Rank: pick(sc.P), Step: steps[pick(3)]}}
+	case 1: // two crashes at distinct steps
+		s1, s2 := pick(3), pick(3)
+		if s1 == s2 {
+			s2 = (s2 + 1) % 3
+		}
+		plan.Crashes = []fault.Crash{
+			{Rank: pick(sc.P), Step: steps[s1]},
+			{Rank: pick(sc.P), Step: steps[s2]},
+		}
+	case 2: // one stall (a straggler, not a failure)
+		plan.Stalls = []fault.Stall{{Rank: pick(sc.P), Step: steps[pick(3)],
+			D: time.Duration(1+pick(5)) * time.Millisecond}}
+	case 3: // one permanent death -> shrink recovery
+		plan.Deaths = []fault.Death{{Rank: pick(sc.P), Step: steps[pick(3)]}}
+		sc.Recovery = core.RecoveryShrink
+	case 4: // two deaths at distinct steps and distinct ranks
+		r1 := pick(sc.P)
+		r2 := pick(sc.P)
+		if r2 == r1 {
+			r2 = (r1 + 2) % sc.P // not the ring successor either
+		}
+		s1, s2 := pick(3), pick(3)
+		if s1 == s2 {
+			s2 = (s2 + 1) % 3
+		}
+		plan.Deaths = []fault.Death{
+			{Rank: r1, Step: steps[s1]},
+			{Rank: r2, Step: steps[s2]},
+		}
+		sc.Recovery = core.RecoveryShrink
+	default: // no rank-level fault
+	}
+	sc.Plan = plan
+	return sc
+}
+
+// Corpus generates the first n scenarios of a seed.
+func Corpus(seed uint64, n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = Generate(seed, i)
+	}
+	return out
+}
+
+// Result is one scenario's verdict.
+type Result struct {
+	Scenario Scenario
+	// Failures lists every oracle violation (empty = pass).
+	Failures []string
+	// Makespan is the first execution's virtual time; Digest fingerprints
+	// its output (and is what the replay check compares).
+	Makespan time.Duration
+	Digest   uint64
+}
+
+// Pass reports whether every oracle held.
+func (r Result) Pass() bool { return len(r.Failures) == 0 }
+
+// execution is one full run of a scenario's world.
+type execution struct {
+	outs     [][]uint64 // final partition by world rank (nil for victims)
+	makespan time.Duration
+	summary  metrics.Summary
+}
+
+// Run executes the scenario twice and applies the four-way oracle.
+func Run(sc Scenario) Result {
+	res := Result{Scenario: sc}
+	a, err := execute(sc)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("run error: %v", err))
+		return res
+	}
+	res.Makespan = a.makespan
+	res.Digest = digest(a)
+	res.Failures = append(res.Failures, verify(sc, a)...)
+
+	// Replay determinism: schedule replay must be bit-identical.
+	b, err := execute(sc)
+	switch {
+	case err != nil:
+		res.Failures = append(res.Failures, fmt.Sprintf("replay error: %v", err))
+	case digest(b) != res.Digest:
+		res.Failures = append(res.Failures, fmt.Sprintf("replay diverged: output digest %x != %x", digest(b), res.Digest))
+	case b.makespan != a.makespan:
+		res.Failures = append(res.Failures, fmt.Sprintf("replay diverged: makespan %v != %v", b.makespan, a.makespan))
+	}
+	return res
+}
+
+// spec builds the scenario's workload spec.
+func (s Scenario) spec() workload.Spec {
+	return workload.Spec{
+		Dist: s.Dist, Seed: s.Seed + uint64(s.Index)*1000003, Span: 1e9,
+		Ranks: s.P, FloodFrac: s.FloodFrac,
+	}
+}
+
+// execute runs the scenario's world once and collects the surviving ranks'
+// partitions by world rank.
+func execute(sc Scenario) (execution, error) {
+	w, err := comm.NewWorldWithFaults(sc.P, simnet.SuperMUC(4, true), sc.Plan)
+	if err != nil {
+		return execution{}, err
+	}
+	spec := sc.spec()
+	outs := make([][]uint64, sc.P)
+	recs := make([]*metrics.Recorder, sc.P)
+	var mu sync.Mutex
+	err = w.Run(func(c *comm.Comm) error {
+		local, err := spec.Rank(c.Rank(), sc.PerRank)
+		if err != nil {
+			return err
+		}
+		rec := metrics.ForComm(c)
+		mu.Lock()
+		recs[c.Rank()] = rec
+		mu.Unlock()
+		world := c.Rank() // world rank: stable across shrinks
+		var out []uint64
+		eff := c
+		switch sc.Algorithm {
+		case "dhsort":
+			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
+				Epsilon: sc.Epsilon, Threads: sc.Threads, Recovery: sc.Recovery,
+				Rebalance: sc.Rebalance, Recorder: rec,
+			})
+		case "dhsort-fused":
+			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
+				Epsilon: sc.Epsilon, Merge: core.MergeOverlap, Threads: sc.Threads,
+				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Recorder: rec,
+			})
+		case "dhsort-rma":
+			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
+				Epsilon: sc.Epsilon, Exchange: comm.ExchangeRMAPut, Threads: sc.Threads,
+				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Recorder: rec,
+			})
+		case "hss":
+			out, eff, err = hss.SortResilient(c, local, keys.Uint64{}, hss.Config{
+				Epsilon: sc.Epsilon, Threads: sc.Threads, Recovery: sc.Recovery,
+				Rebalance: sc.Rebalance, Seed: spec.Seed, Recorder: rec,
+			})
+		default:
+			return fmt.Errorf("chaos: unknown algorithm %q", sc.Algorithm)
+		}
+		if err != nil {
+			return err
+		}
+		rec.Finish()
+		rec.SetElements(len(local), len(out))
+		if !core.IsGloballySorted(eff, out, keys.Uint64{}) {
+			return fmt.Errorf("%s: collective sortedness check failed", sc.Algorithm)
+		}
+		mu.Lock()
+		outs[world] = out
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return execution{}, err
+	}
+	return execution{outs: outs, makespan: w.Makespan(), summary: metrics.Summarize(recs)}, nil
+}
+
+// digest fingerprints an execution: every output element in world-rank
+// order with rank separators, plus the virtual makespan.
+func digest(e execution) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for r, out := range e.outs {
+		put(^uint64(r)) // separator
+		for _, v := range out {
+			put(v)
+		}
+	}
+	put(uint64(e.makespan))
+	return h.Sum64()
+}
+
+// verify applies the host-side oracles to one execution.
+func verify(sc Scenario, e execution) []string {
+	var fails []string
+	spec := sc.spec()
+
+	// Regenerate every rank's input host-side (generation is deterministic)
+	// and sort the union: the expected global sequence.
+	var expected []uint64
+	for r := 0; r < sc.P; r++ {
+		in, err := spec.Rank(r, sc.PerRank)
+		if err != nil {
+			return []string{fmt.Sprintf("workload generation: %v", err)}
+		}
+		expected = append(expected, in...)
+	}
+	sort.Slice(expected, func(i, j int) bool { return expected[i] < expected[j] })
+
+	// Sortedness + boundary order + multiset identity in one comparison:
+	// the world-rank concatenation of the outputs must BE the sorted input
+	// multiset, element for element.
+	var got []uint64
+	for _, out := range e.outs {
+		got = append(got, out...)
+	}
+	if len(got) != len(expected) {
+		fails = append(fails, fmt.Sprintf("multiset: %d elements out, %d in", len(got), len(expected)))
+	} else {
+		for i := range expected {
+			if got[i] != expected[i] {
+				fails = append(fails, fmt.Sprintf("order/multiset: global index %d holds %d, want %d", i, got[i], expected[i]))
+				break
+			}
+		}
+	}
+
+	// Imbalance: death scenarios redistribute capacity by design (the
+	// survivors adopt the victims' shards), so only deathless runs are
+	// gated.  ε = 0 demands the perfect partition — every surviving rank
+	// ends with exactly its input capacity; ε > 0 allows the Definition 1
+	// bound, or a recorded rebalance that restored it.
+	if len(sc.Plan.Deaths) == 0 {
+		maxOut := 0
+		for _, out := range e.outs {
+			if len(out) > maxOut {
+				maxOut = len(out)
+			}
+		}
+		if sc.Epsilon == 0 {
+			for r, out := range e.outs {
+				if len(out) != sc.PerRank {
+					fails = append(fails, fmt.Sprintf("imbalance: eps=0 but rank %d holds %d != %d", r, len(out), sc.PerRank))
+					break
+				}
+			}
+		} else if bound := int(float64(sc.PerRank)*(1+sc.Epsilon)) + 1; maxOut > bound {
+			fails = append(fails, fmt.Sprintf("imbalance: max bucket %d exceeds bound %d (eps=%.2f) with no recorded rebalance (rebalances=%d)",
+				maxOut, bound, sc.Epsilon, e.summary.Rebalances))
+		}
+	}
+	return fails
+}

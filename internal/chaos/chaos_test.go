@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// PinnedSeed is the corpus ./ci.sh chaos runs; keep the small prefix green
+// in tier 1 so the chaos tier never discovers a stale corpus.
+const pinnedSeed = 20260807
+
+// Scenario generation is a pure function of (seed, index).
+func TestGenerateDeterministic(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		a, b := Generate(pinnedSeed, i), Generate(pinnedSeed, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("scenario %d not deterministic:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// Different indices must actually vary the composition.
+func TestCorpusVaries(t *testing.T) {
+	algs := map[string]bool{}
+	dists := map[string]bool{}
+	deaths, crashes, msg := 0, 0, 0
+	for _, sc := range Corpus(pinnedSeed, 64) {
+		algs[sc.Algorithm] = true
+		dists[string(sc.Dist)] = true
+		if len(sc.Plan.Deaths) > 0 {
+			deaths++
+		}
+		if len(sc.Plan.Crashes) > 0 {
+			crashes++
+		}
+		if sc.Plan.MessageFaults() {
+			msg++
+		}
+	}
+	if len(algs) < 3 || len(dists) < 6 || deaths == 0 || crashes == 0 || msg == 0 {
+		t.Fatalf("corpus lacks variety: algs=%d dists=%d deaths=%d crashes=%d msg=%d",
+			len(algs), len(dists), deaths, crashes, msg)
+	}
+}
+
+// A prefix of the pinned corpus passes the four-way oracle (the full ≥64
+// run is the ./ci.sh chaos tier).
+func TestPinnedCorpusPrefix(t *testing.T) {
+	for _, sc := range Corpus(pinnedSeed, 8) {
+		res := Run(sc)
+		if !res.Pass() {
+			t.Fatalf("%s failed: %s\nrepro: %s", sc, strings.Join(res.Failures, "; "), ReproCommand(sc))
+		}
+	}
+}
+
+// The repro path replays a scenario bit-identically: two Runs of the same
+// (seed, index) agree on the output digest and the virtual makespan — the
+// regression guard for `make chaos-repro`.
+func TestReproReplaysBitIdentically(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		sc := Generate(pinnedSeed, i)
+		a, b := Run(sc), Run(sc)
+		if !a.Pass() || !b.Pass() {
+			t.Fatalf("%s failed: %v / %v", sc, a.Failures, b.Failures)
+		}
+		if a.Digest != b.Digest || a.Makespan != b.Makespan {
+			t.Fatalf("%s replay diverged: digest %x/%x makespan %v/%v",
+				sc, a.Digest, b.Digest, a.Makespan, b.Makespan)
+		}
+	}
+}
+
+// The oracle itself must catch corruption: a tampered execution fails
+// verification.
+func TestOracleCatchesCorruption(t *testing.T) {
+	sc := Scenario{Index: 0, Seed: 7, Algorithm: "dhsort", P: 4, PerRank: 100,
+		Threads: 1, Dist: "uniform", Recovery: "respawn"}
+	ex, err := execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := verify(sc, ex); len(fails) != 0 {
+		t.Fatalf("clean run failed verification: %v", fails)
+	}
+	// Swap two elements across a rank boundary: breaks order.
+	ex.outs[0][0], ex.outs[3][0] = ex.outs[3][0], ex.outs[0][0]
+	if fails := verify(sc, ex); len(fails) == 0 {
+		t.Fatal("oracle missed a corrupted output")
+	}
+	// Drop an element: breaks the multiset.
+	ex2, _ := execute(sc)
+	ex2.outs[1] = ex2.outs[1][:len(ex2.outs[1])-1]
+	if fails := verify(sc, ex2); len(fails) == 0 {
+		t.Fatal("oracle missed a lost element")
+	}
+}
+
+// The repro command names the exact seed and index.
+func TestReproCommand(t *testing.T) {
+	got := ReproCommand(Scenario{Seed: 42, Index: 17})
+	if got != "go run ./cmd/chaos -seed 42 -scenario 17 -v" {
+		t.Fatalf("unexpected repro command %q", got)
+	}
+}
+
+// Death scenarios must finish well under the watchdog (a wedged collective
+// would otherwise stall the whole tier).
+func TestDeathScenarioFinishesFast(t *testing.T) {
+	var sc Scenario
+	found := false
+	for _, cand := range Corpus(pinnedSeed, 64) {
+		if len(cand.Plan.Deaths) > 0 {
+			sc, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no death scenario in prefix")
+	}
+	start := time.Now()
+	if res := Run(sc); !res.Pass() {
+		t.Fatalf("%s failed: %v", sc, res.Failures)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("death scenario took %v", d)
+	}
+}

@@ -125,6 +125,17 @@ type Config struct {
 	// cost model prices the thread budget.
 	Threads int
 
+	// Rebalance enables the bounded post-merge rebalance step of the
+	// skew-proofing path: after the Local Merge, output bucket sizes are
+	// checked against the Definition 1 bound, and any surplus is shed to
+	// line neighbors in deterministic order-preserving rounds (capped at
+	// P), priced on the virtual clock and recorded in metrics.  The
+	// histogram sort's boundary refinement already yields exact counts, so
+	// this is a safety net for bounded-iteration runs (MaxIterations set
+	// low) and for callers feeding pre-partitioned skewed data; it is off
+	// by default and fault-free metrics are unchanged when it never fires.
+	Rebalance bool
+
 	// Recovery selects how the sort survives a permanent rank death
 	// (fault.Plan Deaths / comm.ErrRankDead):
 	//

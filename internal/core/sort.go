@@ -241,6 +241,10 @@ func sortSteps[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config, ck *
 	}
 	rec.Enter(metrics.Exchange)
 	out := ExchangeAndMergeArena(c, sorted, ops, cuts, cfg, ar) // enters Merge internally
+	if cfg.Rebalance {
+		rec.Enter(metrics.Other)
+		out = RebalanceOutput(c, out, ops, cfg)
+	}
 	rec.Finish()
 	return out, nil
 }

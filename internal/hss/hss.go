@@ -60,6 +60,11 @@ type Config struct {
 	// core.Config.Recovery): core.RecoveryRespawn (or "") aborts on death;
 	// core.RecoveryShrink continues on the survivors.
 	Recovery string
+	// Rebalance enables the bounded post-merge rebalance (see
+	// core.Config.Rebalance).  HSS accepts the current bounds when the
+	// iteration cap is hit, so a skewed run can exceed Epsilon — the
+	// rebalance sheds the surplus to neighbors afterwards.
+	Rebalance bool
 	// Recorder receives phase timings and iteration counts.
 	Recorder *metrics.Recorder
 }
@@ -85,6 +90,7 @@ func (cfg Config) coreCfg() core.Config {
 		VirtualScale: cfg.VirtualScale,
 		Threads:      cfg.Threads,
 		Recovery:     cfg.Recovery,
+		Rebalance:    cfg.Rebalance,
 		Recorder:     cfg.Recorder,
 	}
 }
@@ -230,6 +236,10 @@ func sortSteps[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config, ck *
 	}
 	rec.Enter(metrics.Exchange)
 	out := core.ExchangeAndMergeArena(c, sorted, ops, cuts, cfg.coreCfg(), ar)
+	if cfg.Rebalance {
+		rec.Enter(metrics.Other)
+		out = core.RebalanceOutput(c, out, ops, cfg.coreCfg())
+	}
 	rec.Finish()
 	return out, nil
 }

@@ -95,6 +95,35 @@ func Compare(old, new Document, threshold float64) (Result, error) {
 	return res, nil
 }
 
+// CompareSubset diffs only the records present in BOTH documents — the
+// smoke-subset-aware form the CI gate uses to hold a smoke run (BENCH_ci)
+// against the committed full baseline (BENCH_full).  Records of either
+// document without a counterpart are ignored rather than reported Missing;
+// an empty intersection is an error, because a gate that compares nothing
+// would silently pass.
+func CompareSubset(old, new Document, threshold float64) (Result, error) {
+	oldByKey := make(map[string]bool, len(old.Records))
+	for _, r := range old.Records {
+		oldByKey[r.Key()] = true
+	}
+	var both []Record
+	for _, r := range new.Records {
+		if oldByKey[r.Key()] {
+			both = append(both, r)
+		}
+	}
+	if old.Schema == SchemaVersion && new.Schema == SchemaVersion && len(both) == 0 {
+		return Result{}, fmt.Errorf("metrics: no common records between documents (subset gate would compare nothing)")
+	}
+	sub := Document{Schema: new.Schema, Config: new.Config, Records: both}
+	res, err := Compare(old, sub, threshold)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Missing = nil // subset mode: old-only records are expected
+	return res, nil
+}
+
 // compareRecords emits the tracked metrics of one matched pair.
 func compareRecords(o, n Record, threshold float64) []Delta {
 	key := o.Key()

@@ -156,6 +156,18 @@ type Recorder struct {
 	// Survivors is the size of the communicator this rank finished on
 	// after a shrink recovery (0 when the run never shrank).
 	Survivors int
+	// Rebalances counts post-merge bounded rebalance passes this rank
+	// participated in (skew-proofing: shedding an output bucket that
+	// exceeded the imbalance bound to its neighbors).
+	Rebalances int64
+	// RebalanceRounds counts neighbor-exchange rounds across those passes.
+	RebalanceRounds int64
+	// RebalanceBytes is the priced volume this rank moved during rebalance.
+	RebalanceBytes int64
+	// RebalanceNS is the virtual time this rank spent rebalancing.
+	RebalanceNS int64
+	// TieBreak records that splitter tie-breaking was active for the run.
+	TieBreak bool
 	// FaultSpans is the rank's fault-event timeline (capped; see
 	// trace.AddFaultSpan for the overflow rule applied here too).
 	FaultSpans        []trace.FaultSpan
@@ -303,6 +315,25 @@ func (r *Recorder) AddShrink(d time.Duration, survivors int) {
 	}
 }
 
+// AddRebalance accounts one bounded post-merge rebalance pass that took
+// rounds neighbor-exchange rounds, moved bytes of priced volume off or onto
+// this rank, and cost d of virtual time.
+func (r *Recorder) AddRebalance(rounds int, bytes int64, d time.Duration) {
+	if r != nil {
+		r.Rebalances++
+		r.RebalanceRounds += int64(rounds)
+		r.RebalanceBytes += bytes
+		r.RebalanceNS += int64(d)
+	}
+}
+
+// SetTieBreak records that the run partitioned with splitter tie-breaking.
+func (r *Recorder) SetTieBreak() {
+	if r != nil {
+		r.TieBreak = true
+	}
+}
+
 // AddStall accounts one injected rank stall of duration d.
 func (r *Recorder) AddStall(d time.Duration) {
 	if r != nil {
@@ -375,6 +406,17 @@ type Summary struct {
 	// Survivors is the size of the communicator the run finished on after
 	// a shrink recovery — the max across ranks (0 when no rank shrank).
 	Survivors int
+	// Rebalances is the max per-rank rebalance pass count (passes are
+	// collective, so this is *the* pass count of the run).
+	Rebalances int64
+	// RebalanceRounds is the max per-rank neighbor-round count.
+	RebalanceRounds int64
+	// RebalanceBytes is the total priced rebalance volume across ranks.
+	RebalanceBytes int64
+	// RebalanceNS is the total virtual rebalance time across ranks.
+	RebalanceNS int64
+	// TieBreak reports whether any rank ran with splitter tie-breaking.
+	TieBreak bool
 	// FaultEvents counts the fault-event spans recorded across ranks
 	// (including any dropped past the per-rank cap).
 	FaultEvents int64
@@ -425,6 +467,17 @@ func Summarize(recs []*Recorder) Summary {
 		s.Fault.add(r.Fault)
 		if r.Survivors > s.Survivors {
 			s.Survivors = r.Survivors
+		}
+		if r.Rebalances > s.Rebalances {
+			s.Rebalances = r.Rebalances
+		}
+		if r.RebalanceRounds > s.RebalanceRounds {
+			s.RebalanceRounds = r.RebalanceRounds
+		}
+		s.RebalanceBytes += r.RebalanceBytes
+		s.RebalanceNS += r.RebalanceNS
+		if r.TieBreak {
+			s.TieBreak = true
 		}
 		s.FaultEvents += int64(len(r.FaultSpans) + r.FaultSpansDropped)
 	}

@@ -172,6 +172,17 @@ type Record struct {
 	// "shrink").  OPTIONAL: omitted for fault-free records and for runs
 	// that did not set one, preserving byte-identity.
 	Recovery string `json:"recovery,omitempty"`
+	// Rebalances / RebalanceRounds / RebalanceBytes / RebalanceNS account
+	// the post-merge bounded rebalance (skew-proofing).  OPTIONAL: all
+	// omitted when the run never rebalanced, so pre-existing documents
+	// stay byte-identical (the same additive pattern as Fault).
+	Rebalances      int64 `json:"rebalances,omitempty"`
+	RebalanceRounds int64 `json:"rebalance_rounds,omitempty"`
+	RebalanceBytes  int64 `json:"rebalance_bytes,omitempty"`
+	RebalanceNS     int64 `json:"rebalance_ns,omitempty"`
+	// TieBreak reports that the run partitioned with duplicate-key splitter
+	// tie-breaking.  OPTIONAL: omitted when false.
+	TieBreak bool `json:"tie_break,omitempty"`
 	// Phases holds the per-superstep breakdown of the first repetition,
 	// keyed by phase name (LocalSort, Histogram, Exchange, Merge, Other).
 	Phases map[string]PhaseStat `json:"phases"`
@@ -246,6 +257,11 @@ func NewRecord(algorithm string, p, perRank int, workload string, makespans []ti
 		LocalSortKernel: s.LocalSortKernel,
 		Threads:         s.Threads,
 		Fault:           fs,
+		Rebalances:      s.Rebalances,
+		RebalanceRounds: s.RebalanceRounds,
+		RebalanceBytes:  s.RebalanceBytes,
+		RebalanceNS:     s.RebalanceNS,
+		TieBreak:        s.TieBreak,
 		Phases:          phases,
 		Totals: Totals{
 			Links:          linkMap(s.TotalLinks()),

@@ -48,6 +48,13 @@ type Config struct {
 	Oversampling int
 	// Seed drives random sampling.
 	Seed uint64
+	// TieBreak breaks splitter ties by a stable secondary image: keys are
+	// lifted to globally unique (key, rank, index) triples before sampling
+	// and partitioning, so a heavy-hitter duplicate run (e.g. a flooded
+	// value holding half the input) splits across ranks instead of landing
+	// on whichever single rank owns the value-only splitter interval — the
+	// PGX.D skew fix.  Costs 8 extra bytes per key during the exchange.
+	TieBreak bool
 	// VirtualScale prices bulk data at a multiple of its real size,
 	// matching core.Config.VirtualScale.
 	VirtualScale float64
@@ -74,13 +81,33 @@ func (cfg Config) scale() float64 {
 // superstep 3 exchanges data in one ALLTOALLV (§III-A).  The input is not
 // modified.  Balance is probabilistic, not perfect.
 func Sort[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
+	if cfg.Variant != RandomSampling && cfg.Variant != RegularSampling {
+		return nil, fmt.Errorf("samplesort: unknown variant %d", int(cfg.Variant))
+	}
+	if cfg.TieBreak {
+		// Lift to globally unique (key, rank, index) triples: every sampled
+		// splitter then cuts *inside* a duplicate run, distributing it.
+		cfg.Recorder.SetTieBreak()
+		triples := keys.MakeUnique(local, c.Rank())
+		if model := c.Model(); model != nil {
+			c.Clock().Advance(model.ScanCost(int(float64(len(local)) * cfg.scale())))
+		}
+		out, err := sortImpl(c, triples, keys.NewTripleOps(ops), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return keys.StripUnique(out), nil
+	}
+	return sortImpl(c, local, ops, cfg)
+}
+
+// sortImpl runs the three supersteps (separate from Sort so the tie-break
+// path can instantiate it on triples without a generic instantiation cycle).
+func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K, error) {
 	p := c.Size()
 	model := c.Model()
 	scale := cfg.scale()
 	rec := cfg.Recorder
-	if cfg.Variant != RandomSampling && cfg.Variant != RegularSampling {
-		return nil, fmt.Errorf("samplesort: unknown variant %d", int(cfg.Variant))
-	}
 
 	// Local sort first (needed by regular sampling and by the partition
 	// step's binary searches).

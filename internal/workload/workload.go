@@ -46,10 +46,20 @@ const (
 	// ReverseSorted emits a globally descending sequence (rank-major),
 	// the adversarial input for adaptive algorithms.
 	ReverseSorted Distribution = "reverse-sorted"
+	// DuplicateFlood is the PGX.D heavy-hitter adversary: a FloodFrac
+	// fraction of all keys is one single repeated value (the flood), the
+	// rest uniform.  Value-based splitters land the whole flood on one
+	// rank; tie-broken splitters split it across ranks.
+	DuplicateFlood Distribution = "duplicate-flood"
+	// SortedOutliers emits an almost-perfectly ascending global ramp with
+	// an OutlierFrac fraction of keys replaced by extreme-tail outliers
+	// (half at the bottom, half at the top of the key range) — the
+	// sorted-with-outliers adversary for sampled splitter guesses.
+	SortedOutliers Distribution = "sorted-with-outliers"
 )
 
 // Distributions lists every supported distribution.
-var Distributions = []Distribution{Uniform, Normal, Zipf, NearlySorted, DuplicateHeavy, AllEqual, Shifted, ReverseSorted}
+var Distributions = []Distribution{Uniform, Normal, Zipf, NearlySorted, DuplicateHeavy, AllEqual, Shifted, ReverseSorted, DuplicateFlood, SortedOutliers}
 
 // Spec describes one rank's share of a generated workload.
 type Spec struct {
@@ -68,6 +78,45 @@ type Spec struct {
 	// to aim each rank's keys at its successor's range (0 disables the
 	// shift and falls back to Uniform).
 	Ranks int
+	// FloodFrac is the DuplicateFlood heavy-hitter mass: the probability
+	// that a key is the single flooded value (0 means 0.5).  Ignored by
+	// the other distributions.
+	FloodFrac float64
+	// OutlierFrac is the SortedOutliers tail mass: the probability that a
+	// position of the ascending ramp is replaced by an extreme-tail
+	// outlier (0 means 0.05).  Ignored by the other distributions.
+	OutlierFrac float64
+}
+
+// floodFrac returns the effective DuplicateFlood heavy-hitter mass.
+func (s Spec) floodFrac() float64 {
+	if s.FloodFrac <= 0 {
+		return 0.5
+	}
+	if s.FloodFrac > 1 {
+		return 1
+	}
+	return s.FloodFrac
+}
+
+// outlierFrac returns the effective SortedOutliers tail mass.
+func (s Spec) outlierFrac() float64 {
+	if s.OutlierFrac <= 0 {
+		return 0.05
+	}
+	if s.OutlierFrac > 1 {
+		return 1
+	}
+	return s.OutlierFrac
+}
+
+// FloodValue returns the key value DuplicateFlood floods for the given span
+// (exported so oracles can count the flood run in generated data).
+func FloodValue(span uint64) uint64 {
+	if span == 0 {
+		span = math.MaxUint64
+	}
+	return span / 3
 }
 
 // Rank generates rank r's n keys under the spec.  The same (spec, r, n)
@@ -159,6 +208,45 @@ func (s Spec) Rank(r, n int) ([]uint64, error) {
 			v := base - uint64(i)
 			if v > span { // underflow wrap
 				v = 0
+			}
+			out[i] = v
+		}
+	case DuplicateFlood:
+		// Heavy-hitter duplicate flood: with probability floodFrac the key
+		// is the single flooded value, otherwise uniform.  The flood value
+		// sits strictly inside the span so splitters on either side exist.
+		frac := s.floodFrac()
+		flood := FloodValue(span)
+		// Adjudicate in integer space to keep the draw exact and cheap.
+		cut := uint64(frac * float64(1<<32))
+		for i := range out {
+			if prng.Uint64n(src, 1<<32) < cut {
+				out[i] = flood
+			} else {
+				out[i] = boundedDraw(src, span)
+			}
+		}
+	case SortedOutliers:
+		// Ascending rank-major ramp with an outlierFrac tail mass of
+		// extreme outliers: half at the very bottom, half at the very top
+		// of the range — sampled splitter guesses chase the tails while
+		// the body stays sorted.
+		frac := s.outlierFrac()
+		cut := uint64(frac * float64(1<<32))
+		lo := uint64(r) * uint64(n)
+		tail := span / 1024 // the outlier bands: [0, tail] and [span-tail, span]
+		for i := range out {
+			if prng.Uint64n(src, 1<<32) < cut {
+				if prng.Uint64n(src, 2) == 0 {
+					out[i] = prng.Uint64n(src, tail+1)
+				} else {
+					out[i] = span - prng.Uint64n(src, tail+1)
+				}
+				continue
+			}
+			v := lo + uint64(i)
+			if v > span-tail-1 {
+				v = span - tail - 1 // keep the body out of the top outlier band
 			}
 			out[i] = v
 		}

@@ -187,6 +187,83 @@ func TestReverseSortedDescending(t *testing.T) {
 	}
 }
 
+// Golden histogram for the duplicate-flood adversary: the exact per-bucket
+// counts for a pinned seed.  Any change to the generator (or the prng
+// stream it consumes) shows up here before it silently reshapes the chaos
+// corpus and the skew experiment.
+func TestDuplicateFloodGolden(t *testing.T) {
+	const n, span = 100000, uint64(1e9)
+	spec := Spec{Dist: DuplicateFlood, Seed: 42, Span: span, FloodFrac: 0.5}
+	keys, err := spec.Rank(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist [8]int
+	flood := 0
+	width := span/8 + 1
+	for _, k := range keys {
+		if k > span {
+			t.Fatalf("key %d out of span", k)
+		}
+		if k == FloodValue(span) {
+			flood++
+		}
+		hist[k/width]++
+	}
+	// The flood mass must track FloodFrac (binomial, n=1e5, p=0.5).
+	if flood < 49000 || flood > 51000 {
+		t.Errorf("flood mass %d, want ≈50000", flood)
+	}
+	golden := [8]int{6295, 6197, 56312, 6187, 6279, 6209, 6280, 6241}
+	if hist != golden {
+		t.Errorf("histogram drifted:\n got %v\nwant %v", hist, golden)
+	}
+}
+
+// Golden outlier counts for the sorted-with-outliers adversary: displaced
+// positions (ramp value replaced by an extreme-tail outlier) and their
+// split across the bottom/top bands, pinned for a fixed seed.
+func TestSortedOutliersGolden(t *testing.T) {
+	const n = 100000
+	const span = uint64(1e9)
+	spec := Spec{Dist: SortedOutliers, Seed: 42, Span: span}
+	keys, err := spec.Rank(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := span / 1024
+	displaced, low, high := 0, 0, 0
+	for i, k := range keys {
+		if k > span {
+			t.Fatalf("key %d out of span", k)
+		}
+		want := uint64(i) // rank 0: the ramp is the global index
+		if want > span-tail-1 {
+			want = span - tail - 1
+		}
+		if k == want {
+			continue
+		}
+		displaced++
+		switch {
+		case k <= tail:
+			low++
+		case k >= span-tail:
+			high++
+		default:
+			t.Fatalf("displaced key %d at %d is outside both outlier bands", k, i)
+		}
+	}
+	// Tail mass must track the default OutlierFrac of 5%, split evenly.
+	if displaced < 4500 || displaced > 5500 {
+		t.Errorf("displaced %d, want ≈5000", displaced)
+	}
+	if displaced != 5056 || low != 2563 || high != 2493 {
+		t.Errorf("outlier counts drifted: displaced=%d low=%d high=%d, want 5056/2563/2493",
+			displaced, low, high)
+	}
+}
+
 func TestUnknownDistribution(t *testing.T) {
 	if _, err := (Spec{Dist: "bogus"}).Rank(0, 10); err == nil {
 		t.Fatal("expected error")
