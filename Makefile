@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race chaos chaos-repro bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew
+.PHONY: ci test race chaos chaos-repro serve serve-smoke bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew
 
 # Chaos tier defaults; override per invocation, e.g.
 #   make chaos SEED=12345 COUNT=256
@@ -16,7 +16,18 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault
+	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/server ./internal/api
+
+# Run the sort service locally (see cmd/dhsortd for the API and flags):
+#   make serve ADDR=:8080
+ADDR ?= :8080
+serve:
+	go run ./cmd/dhsortd -addr $(ADDR)
+
+# End-to-end service smoke: boot dhsortd on a random port, drive it with the
+# dhsort client, verify the streamed result (also part of the CI gate).
+serve-smoke:
+	./ci.sh serve
 
 # Tier-2 chaos oracle: a seeded corpus of composed skew x fault x recovery x
 # backend scenarios.  Failures print the exact repro command.

@@ -5,6 +5,7 @@
 #   ./ci.sh          # tier 1: fmt + vet + lint + build + test + race (fast)
 #   ./ci.sh bench    # tier 1 + bench smoke, BENCH_ci.json + compare gate
 #   ./ci.sh chaos    # tier 2: the pinned-seed chaos corpus (64 scenarios)
+#   ./ci.sh serve    # tier 1 + sort-service smoke: dhsortd + client round trip
 #
 # Fails (non-zero exit) on any gofmt diff, vet finding, lint finding, build
 # error, test failure, data race in the race-sensitive packages, benchmark
@@ -15,8 +16,9 @@ set -eu
 # windows (cross-goroutine direct memory writes), the shared-memory parallel
 # sort, the intra-rank kernels (fork-join merges, radix scratch reuse), the
 # fault-injection plane (adjudicated on sender goroutines, deduplicated on
-# receiver goroutines), and the algorithms that drive them.
-RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault"
+# receiver goroutines), the algorithms that drive them, and the sort service
+# (pooled persistent worlds shared across concurrent HTTP-driven jobs).
+RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/server ./internal/api"
 
 echo "== gofmt"
 fmt_out=$(gofmt -l .)
@@ -74,6 +76,41 @@ if [ "${1:-}" = "bench" ]; then
     # baseline on the grid points both cover (exit 3 on regression).
     echo "== bench compare gate (BENCH_ci.json vs committed BENCH_full.json)"
     go run ./cmd/bench -compare BENCH_full.json -with BENCH_ci.json -subset
+fi
+
+if [ "${1:-}" = "serve" ]; then
+    # Sort-service smoke: boot dhsortd on a random port, push a job through
+    # the real client, and check the streamed result is sorted and complete.
+    echo "== serve smoke (dhsortd + dhsort client round trip)"
+    tmp=$(mktemp -d)
+    trap 'kill $srv_pid 2>/dev/null || true; rm -rf "$tmp"' EXIT
+    go build -o "$tmp/" ./cmd/dhsort ./cmd/dhsortd
+    "$tmp/dhsortd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -p 4 -workers 2 \
+        > "$tmp/dhsortd.log" 2>&1 &
+    srv_pid=$!
+    for i in 1 2 3 4 5 6 7 8 9 10; do
+        [ -s "$tmp/addr" ] && break
+        sleep 0.3
+    done
+    [ -s "$tmp/addr" ] || { echo "dhsortd never wrote its address" >&2; cat "$tmp/dhsortd.log" >&2; exit 1; }
+    DHSORT_SERVER="http://$(cat "$tmp/addr" | tr -d '\n')"
+    export DHSORT_SERVER
+
+    "$tmp/dhsort" health > /dev/null
+    job=$("$tmp/dhsort" submit -tenant ci -n 50000 -dist zipf -wait)
+    "$tmp/dhsort" result "$job" > "$tmp/out.txt"
+    sort -c -n "$tmp/out.txt"
+    lines=$(wc -l < "$tmp/out.txt")
+    [ "$lines" -eq 50000 ] || { echo "serve smoke: got $lines keys, want 50000" >&2; exit 1; }
+    # Second job of the same shape must hit the warm world pool.
+    job2=$("$tmp/dhsort" submit -tenant ci -n 10000 -wait 2> "$tmp/wait2.log")
+    grep -q 'pool_hit=true' "$tmp/wait2.log" || { echo "serve smoke: second job missed the world pool" >&2; cat "$tmp/wait2.log" >&2; exit 1; }
+    "$tmp/dhsort" stats | grep -q '"hits": ' || { echo "serve smoke: /v1/metrics has no pool counters" >&2; exit 1; }
+    kill $srv_pid
+    wait $srv_pid 2>/dev/null || true
+    trap - EXIT
+    rm -rf "$tmp"
+    echo "== serve smoke OK"
 fi
 
 if [ "${1:-}" = "chaos" ]; then

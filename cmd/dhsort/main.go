@@ -28,6 +28,13 @@ import (
 )
 
 func main() {
+	// Service-client subcommands (submit/status/result/health/stats) talk to
+	// a dhsortd server; everything else is the original local runner.
+	if len(os.Args) > 1 {
+		if code, ok := runClientCommand(os.Args[1], os.Args[2:]); ok {
+			os.Exit(code)
+		}
+	}
 	var (
 		p     = flag.Int("p", 8, "number of ranks")
 		n     = flag.Int("n", 1<<20, "total number of keys")

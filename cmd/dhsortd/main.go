@@ -1,0 +1,85 @@
+// Command dhsortd serves the distributed histogram sort as a multi-tenant
+// job service: a JSON HTTP API over a bounded admission queue, per-tenant
+// token-bucket quotas, and a pool of warm persistent worlds that are reused
+// — and shared, via job batching — across jobs.
+//
+//	dhsortd -addr :8080 -p 8 -workers 2
+//	dhsort submit -server http://127.0.0.1:8080 -n 100000 -wait
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/result,
+// GET /v1/metrics, GET /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dhsort/internal/api"
+	"dhsort/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts binding port 0)")
+		p        = flag.Int("p", 8, "default world size for jobs that don't request one")
+		maxP     = flag.Int("max-p", 64, "largest accepted per-job world size")
+		workers  = flag.Int("workers", 2, "concurrent job executors")
+		queue    = flag.Int("queue", 64, "admission queue depth (full = 429)")
+		poolIdle = flag.Int("pool-idle", 2, "warm worlds kept idle per (p, model) shape")
+		qRate    = flag.Float64("quota-rate", 5, "per-tenant refill rate, jobs/second")
+		qBurst   = flag.Float64("quota-burst", 10, "per-tenant burst")
+		maxN     = flag.Int("max-n", 1<<22, "largest accepted job in keys (413 above)")
+		batchKey = flag.Int("batch-keys", 4096, "batch-eligibility threshold in keys")
+		batchMax = flag.Int("batch-max", 8, "most jobs per shared world run")
+		batchW   = flag.Duration("batch-wait", 2*time.Millisecond, "linger for batch stragglers")
+		ring     = flag.Int("metrics-ring", 64, "per-job metrics documents retained on /v1/metrics")
+	)
+	flag.Parse()
+
+	eng := server.New(server.Config{
+		P: *p, MaxP: *maxP, Workers: *workers, QueueDepth: *queue,
+		PoolIdle: *poolIdle, QuotaRate: *qRate, QuotaBurst: *qBurst,
+		MaxN: *maxN, BatchMaxKeys: *batchKey, BatchMax: *batchMax,
+		BatchWait: *batchW, MetricsRing: *ring,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dhsortd: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("dhsortd: write -addr-file: %v", err)
+		}
+	}
+	log.Printf("dhsortd: serving on %s (p=%d workers=%d queue=%d)", ln.Addr(), *p, *workers, *queue)
+
+	httpSrv := &http.Server{Handler: api.Handler(eng)}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("dhsortd: %v, shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("dhsortd: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dhsortd: shutdown:", err)
+	}
+	eng.Close()
+}

@@ -176,6 +176,35 @@ func RunWithFaults(p int, model *CostModel, plan FaultPlan, fn func(c *Comm) err
 	return w.Run(fn)
 }
 
+// RunTimedWithFaults is RunWithFaults additionally returning the execution
+// makespan, for callers that account per-run time under fault injection
+// (e.g. the sort service's dedicated-world jobs).
+func RunTimedWithFaults(p int, model *CostModel, plan FaultPlan, fn func(c *Comm) error) (time.Duration, error) {
+	w, err := comm.NewWorldWithFaults(p, model, plan)
+	if err != nil {
+		return 0, err
+	}
+	err = w.Run(fn)
+	return w.Makespan(), err
+}
+
+// PersistentWorld is a reusable world: rank goroutines, per-rank clocks and
+// communicator state survive across jobs, so successive sorts on the same
+// world skip goroutine and comm-state construction — the warm-world
+// substrate of the sort service's pool.  Per-job stats and clocks reset
+// between jobs; a failed job breaks the world (see comm.PersistentWorld).
+type PersistentWorld = comm.PersistentWorld
+
+// ErrWorldBroken marks a persistent world poisoned by an earlier failed job.
+var ErrWorldBroken = comm.ErrWorldBroken
+
+// NewPersistentWorld creates a reusable world of p ranks; call Execute once
+// per job (the reusable Run variant) and Close when done.  model selects
+// virtual-time execution (nil = real time).
+func NewPersistentWorld(p int, model *CostModel) (*PersistentWorld, error) {
+	return comm.NewPersistentWorld(p, model)
+}
+
 // RunTimed is Run, additionally returning the execution makespan: the
 // maximum per-rank virtual completion time under a cost model, or the
 // slowest rank's wall-clock time without one.

@@ -1,0 +1,128 @@
+// Package api is the HTTP transport of the sort service: a stdlib
+// net/http handler over the internal/server engine.  Routes:
+//
+//	POST /v1/jobs             submit a JobSpec (tenant from X-Tenant)
+//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs/{id}/result sorted keys, streamed one per line
+//	GET  /v1/metrics          server counters, pool stats, per-job documents
+//	GET  /healthz             liveness
+//
+// Errors are JSON bodies shaped like server.Reject; 429 responses carry a
+// Retry-After header.  The package holds no state of its own — everything
+// lives in the engine — so handlers are thin and the whole cycle is
+// testable with net/http/httptest.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dhsort/internal/server"
+)
+
+// maxBodyBytes bounds a submission body; 64 MiB comfortably fits the
+// engine's MaxN inline keys as JSON.
+const maxBodyBytes = 64 << 20
+
+// Handler returns the service's HTTP handler over engine s.
+func Handler(s *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submit(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		result(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func submit(s *server.Server, w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, &server.Reject{HTTPStatus: http.StatusBadRequest,
+			Reason: "bad_request", Detail: "invalid job body: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(r.Header.Get("X-Tenant"), spec)
+	if err != nil {
+		writeReject(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func status(s *server.Server, w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeErr(w, &server.Reject{HTTPStatus: http.StatusNotFound,
+			Reason: "not_found", Detail: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// result streams the sorted keys as text, one decimal key per line, so a
+// client never has to hold a giant JSON array; the job metadata rides in
+// X-Job-* headers.
+func result(s *server.Server, w http.ResponseWriter, r *http.Request) {
+	keys, st, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeReject(w, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("X-Job-Id", st.ID)
+	h.Set("X-Job-N", strconv.Itoa(st.N))
+	h.Set("X-Job-Verified", strconv.FormatBool(st.Verified))
+	w.WriteHeader(http.StatusOK)
+	buf := make([]byte, 0, 24)
+	for _, k := range keys {
+		buf = strconv.AppendUint(buf[:0], k, 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return // client went away mid-stream
+		}
+	}
+}
+
+// writeReject maps an engine error onto the wire: *Reject verbatim,
+// anything else a 500.
+func writeReject(w http.ResponseWriter, err error) {
+	var rej *server.Reject
+	if !errors.As(err, &rej) {
+		rej = &server.Reject{HTTPStatus: http.StatusInternalServerError,
+			Reason: "internal", Detail: err.Error()}
+	}
+	writeErr(w, rej)
+}
+
+func writeErr(w http.ResponseWriter, rej *server.Reject) {
+	if rej.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(rej.RetryAfter))
+	}
+	writeJSON(w, rej.HTTPStatus, rej)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,247 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"dhsort/internal/simnet"
+)
+
+// ErrWorldBroken is returned by PersistentWorld.Execute when the world can
+// no longer host jobs: a previous job failed (aborting poisons the
+// mailboxes permanently) or a rank left permanently.  The caller must build
+// a fresh world; pooled-world servers retire broken worlds on check-in.
+var ErrWorldBroken = errors.New("comm: persistent world broken by an earlier job")
+
+// ErrWorldClosed is returned by Execute after Close.
+var ErrWorldClosed = errors.New("comm: persistent world closed")
+
+// PersistentWorld hosts long-lived rank goroutines that execute a sequence
+// of collective jobs on the same communicator.  Unlike World.Run — which is
+// single-shot — the rank goroutines, their mailboxes, per-rank clocks,
+// communicator sequence counters and reliable-transport state all survive
+// across jobs, so a server can reuse a warm world instead of rebuilding
+// goroutines and comm state per request (the world-pool substrate of the
+// sort service).
+//
+// Per-job isolation is still guaranteed where it matters:
+//
+//   - Stats: each rank's accumulator is snapshotted into the world and
+//     reset to zero by the rank goroutine itself at the end of every job
+//     (after a quiesce barrier), so RankStats/TotalStats/Makespan report
+//     the LAST job only and no communication volume leaks between jobs'
+//     metrics documents.  See the ownership note on Stats.
+//   - Clocks: reset to zero per job, so Makespan is per-job.
+//   - Tags: collective sequence numbers and reliable-transport sequence
+//     numbers keep counting monotonically across jobs, which is exactly
+//     what keeps late/duplicate envelopes of job k from matching job k+1.
+//
+// A job that returns an error (or panics, or loses a rank permanently)
+// breaks the world: the abort that unblocks the surviving ranks poisons the
+// mailboxes for good, and every later Execute returns ErrWorldBroken.
+// Fault-injecting plans that schedule permanent deaths therefore should run
+// on dedicated single-shot worlds, not pooled ones.
+type PersistentWorld struct {
+	w    *World
+	size int
+	jobs []chan func(c *Comm) error
+	done chan rankDone
+	wg   sync.WaitGroup
+
+	runMu sync.Mutex // serializes Execute; jobs on one world are sequential
+
+	mu      sync.Mutex
+	broken  bool
+	closed  bool
+	jobsRun int
+}
+
+// rankDone is one rank's verdict on one job.
+type rankDone struct {
+	rank int
+	err  error
+	dead bool // the world cannot run further jobs (abort or permanent death)
+}
+
+// NewPersistentWorld creates a persistent world of the given size.  model
+// may be nil for real-time execution.  The rank goroutines start immediately
+// and idle until Execute.
+func NewPersistentWorld(size int, model *simnet.CostModel) (*PersistentWorld, error) {
+	w, err := NewWorld(size, model)
+	if err != nil {
+		return nil, err
+	}
+	pw := &PersistentWorld{
+		w:    w,
+		size: size,
+		jobs: make([]chan func(c *Comm) error, size),
+		done: make(chan rankDone, size),
+	}
+	for r := 0; r < size; r++ {
+		pw.jobs[r] = make(chan func(c *Comm) error, 1)
+		pw.wg.Add(1)
+		go pw.rankLoop(r)
+	}
+	return pw, nil
+}
+
+// rankLoop is one rank's lifetime: a fresh Comm, then one job after another
+// until Close.  The Comm survives across jobs by design.
+func (pw *PersistentWorld) rankLoop(rank int) {
+	defer pw.wg.Done()
+	c := newWorldComm(pw.w, rank)
+	for fn := range pw.jobs[rank] {
+		pw.done <- pw.runJob(c, rank, fn)
+	}
+}
+
+// runJob executes one job on the rank's persistent Comm, then quiesces,
+// snapshots and resets the rank's per-job state.  Mirrors World.Run's
+// recover clauses.
+func (pw *PersistentWorld) runJob(c *Comm, rank int, fn func(c *Comm) error) (d rankDone) {
+	d.rank = rank
+	defer func() {
+		if p := recover(); p != nil {
+			d.dead = true // any unwind leaves the world unusable
+			switch v := p.(type) {
+			case error:
+				if v == errAborted {
+					// Collateral of another rank's failure.
+					return
+				}
+				d.err = fmt.Errorf("comm: rank %d: %w", rank, v)
+			case suicideExit:
+				// Scheduled permanent death: a clean exit for the rank, but
+				// the world has permanently lost a member.
+				pw.w.mu.Lock()
+				pw.w.finals[rank] = v.c.clock.Now()
+				pw.w.stats[rank] = *v.c.stats
+				pw.w.mu.Unlock()
+				return
+			case *FailureError:
+				d.err = fmt.Errorf("comm: rank %d: %w", rank, v)
+			default:
+				d.err = fmt.Errorf("comm: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+			}
+			pw.w.abort()
+		}
+	}()
+	if err := fn(c); err != nil {
+		d.err = fmt.Errorf("comm: rank %d: %w", rank, err)
+		d.dead = true
+		pw.w.abort()
+		return
+	}
+	// The job's own completion time, before the quiesce barrier below adds
+	// synchronization slack.
+	end := c.clock.Now()
+	// Quiesce: no rank starts the next job (reusing the fused-exchange user
+	// tag range and resetting stats) while a peer is still receiving this
+	// job's traffic.  Collective discipline makes this safe: every rank that
+	// reached this point runs the same barrier.
+	Barrier(c)
+	// Snapshot and reset on the owning goroutine — the same confinement
+	// discipline World.Run uses, extended with a per-job reset so the next
+	// job starts from zero (see the Stats ownership note).
+	pw.w.mu.Lock()
+	pw.w.finals[rank] = end
+	pw.w.stats[rank] = *c.stats
+	pw.w.mu.Unlock()
+	*c.stats = Stats{}
+	c.clock.Reset()
+	return
+}
+
+// Execute runs fn once per rank — the reusable counterpart of World.Run —
+// and waits for every rank.  Jobs are serialized: concurrent Execute calls
+// queue on an internal mutex.  After a clean job, Makespan/RankStats/
+// TotalStats report that job alone.  A failed job breaks the world; further
+// calls return ErrWorldBroken.
+func (pw *PersistentWorld) Execute(fn func(c *Comm) error) error {
+	pw.runMu.Lock()
+	defer pw.runMu.Unlock()
+	pw.mu.Lock()
+	if pw.closed {
+		pw.mu.Unlock()
+		return ErrWorldClosed
+	}
+	if pw.broken {
+		pw.mu.Unlock()
+		return ErrWorldBroken
+	}
+	pw.mu.Unlock()
+
+	for r := 0; r < pw.size; r++ {
+		pw.jobs[r] <- fn
+	}
+	errs := make([]error, 0, pw.size)
+	dead := false
+	for i := 0; i < pw.size; i++ {
+		d := <-pw.done
+		if d.err != nil {
+			errs = append(errs, d.err)
+		}
+		if d.dead {
+			dead = true
+		}
+	}
+	pw.mu.Lock()
+	pw.jobsRun++
+	if dead {
+		pw.broken = true
+	}
+	pw.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Healthy reports whether the world can run further jobs.
+func (pw *PersistentWorld) Healthy() bool {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return !pw.broken && !pw.closed
+}
+
+// JobsRun returns the number of Execute calls that completed (including
+// failed ones).
+func (pw *PersistentWorld) JobsRun() int {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.jobsRun
+}
+
+// Size returns the number of ranks.
+func (pw *PersistentWorld) Size() int { return pw.size }
+
+// Model returns the world's cost model (nil in real-time mode).
+func (pw *PersistentWorld) Model() *simnet.CostModel { return pw.w.model }
+
+// Makespan returns the LAST job's maximum per-rank completion time (virtual
+// under a cost model, wall otherwise).
+func (pw *PersistentWorld) Makespan() time.Duration { return pw.w.Makespan() }
+
+// RankStats returns the LAST job's per-rank communication statistics.
+func (pw *PersistentWorld) RankStats() []Stats { return pw.w.RankStats() }
+
+// TotalStats sums the LAST job's per-rank communication statistics.
+func (pw *PersistentWorld) TotalStats() Stats { return pw.w.TotalStats() }
+
+// Close shuts the rank goroutines down and waits for them.  Must not be
+// called concurrently with Execute.  Idempotent.
+func (pw *PersistentWorld) Close() {
+	pw.runMu.Lock()
+	defer pw.runMu.Unlock()
+	pw.mu.Lock()
+	if pw.closed {
+		pw.mu.Unlock()
+		return
+	}
+	pw.closed = true
+	pw.mu.Unlock()
+	for _, ch := range pw.jobs {
+		close(ch)
+	}
+	pw.wg.Wait()
+}

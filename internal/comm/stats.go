@@ -14,6 +14,16 @@ import "dhsort/internal/simnet"
 // accumulator.  Do not retain the pointer returned by Comm.Stats past the
 // rank function's lifetime unless all ranks have finished (e.g. after
 // World.Run returns, which establishes the necessary happens-before edge).
+//
+// Pooled persistent worlds extend the audit across jobs: at the end of
+// every PersistentWorld.Execute, each rank goroutine — after the post-job
+// quiesce barrier — snapshots its accumulator into the World under
+// World.mu and then ZEROES it, still on the owning goroutine, before the
+// next job can start.  Consequently a pooled world's stats reset between
+// jobs: RankStats/TotalStats report the last job only, and a job's metrics
+// document can never inherit message counts, byte volumes or fault tallies
+// from an earlier tenant's job on the same warm world (tested by
+// TestPersistentWorldStatsResetBetweenJobs).
 type Stats struct {
 	Messages [simnet.NumLinkClasses]int64 // per simnet.LinkClass
 	Bytes    [simnet.NumLinkClasses]int64

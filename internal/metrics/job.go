@@ -1,0 +1,25 @@
+package metrics
+
+// SuiteServe marks documents produced by the sort service: one document per
+// completed job, retained in the server's metrics ring and exported on
+// /v1/metrics.
+const SuiteServe = "serve"
+
+// JobDocument wraps one completed service job's record in a standalone
+// dhsort-bench/v1 document, so the per-job artifact a server retains is
+// schema-identical to the bench suite's output and flows through the same
+// Decode/Compare tooling.
+func JobDocument(model string, ranksPerNode int, seed uint64, fault string, rec Record) Document {
+	return Document{
+		Schema: SchemaVersion,
+		Config: RunConfig{
+			Suite:        SuiteServe,
+			Model:        model,
+			RanksPerNode: ranksPerNode,
+			Reps:         rec.Reps,
+			Seed:         seed,
+			Fault:        fault,
+		},
+		Records: []Record{rec},
+	}
+}

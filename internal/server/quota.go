@@ -1,0 +1,51 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaTable is the per-tenant admission quota: a classic token bucket per
+// tenant, refilled at rate jobs/second up to burst tokens.  A submit that
+// finds an empty bucket is rejected with a Retry-After derived from the
+// refill rate — tenants cannot starve each other through the shared queue.
+type quotaTable struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(rate, burst float64) *quotaTable {
+	return &quotaTable{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from tenant's bucket.  On rejection it returns
+// the suggested Retry-After duration until a token will be available.
+func (t *quotaTable) allow(tenant string) (bool, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := timeNow()
+	b, ok := t.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: t.burst, last: now}
+		t.buckets[tenant] = b
+	}
+	b.tokens = math.Min(t.burst, b.tokens+now.Sub(b.last).Seconds()*t.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if t.rate <= 0 {
+		return false, time.Hour
+	}
+	wait := time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,262 @@
+// Package server is the engine of the sort service: a bounded job queue
+// with admission control, per-tenant token-bucket quotas, a pool of warm
+// persistent worlds reused across jobs, batching of small compatible jobs
+// into one shared world run, and an in-memory ring of per-job
+// dhsort-bench/v1 metrics documents.  It knows nothing about HTTP; the
+// internal/api package is the transport on top (the serverdb/api layering
+// of the exemplar repo).
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"dhsort"
+	"dhsort/internal/fault"
+	"dhsort/internal/workload"
+)
+
+// JobSpec is one sort job as submitted by a client.  Exactly one of Keys
+// (inline data) or N (a generated workload) must be set.  The zero values
+// of the remaining fields pick the server defaults.
+type JobSpec struct {
+	// Keys is the inline input (small jobs, exact data).
+	Keys []uint64 `json:"keys,omitempty"`
+	// N requests a generated workload of this many keys.
+	N int `json:"n,omitempty"`
+	// Dist is the workload distribution (default "uniform").
+	Dist string `json:"dist,omitempty"`
+	// Seed is the workload seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Span bounds the workload key range (default 1e9; 0 means default).
+	Span uint64 `json:"span,omitempty"`
+	// P is the world size (default the server's).
+	P int `json:"p,omitempty"`
+	// Exchange selects the data-exchange backend (default "auto").
+	Exchange string `json:"exchange,omitempty"`
+	// Merge selects the local merge strategy (default "resort").
+	Merge string `json:"merge,omitempty"`
+	// Model prices the run on a cost model: "none" (real time, default),
+	// "pgas" or "mpi" (SuperMUC, 16 ranks/node).
+	Model string `json:"model,omitempty"`
+	// Threads is the intra-rank worker budget (0 = GOMAXPROCS in real
+	// time; forced to 1 under a cost model for reproducible clocks).
+	Threads int `json:"threads,omitempty"`
+	// Kernel forces the Local Sort kernel ("radix", "task-merge",
+	// "introsort"; empty = dispatch).
+	Kernel string `json:"kernel,omitempty"`
+	// Epsilon is the load-balance threshold (0 = perfect partitioning).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Fault is a seeded fault schedule in fault.Parse syntax — chaos in
+	// prod.  Fault-injecting jobs run on dedicated single-shot worlds,
+	// never pooled or batched.
+	Fault string `json:"fault,omitempty"`
+	// Recovery selects permanent-death recovery ("respawn" or "shrink").
+	Recovery string `json:"recovery,omitempty"`
+	// NoBatch opts the job out of batching.
+	NoBatch bool `json:"no_batch,omitempty"`
+}
+
+// parseExchange maps the wire name to the facade constant.
+func parseExchange(name string) (dhsort.ExchangeAlgorithm, error) {
+	switch name {
+	case "", "auto":
+		return dhsort.ExchangeAuto, nil
+	case "pairwise":
+		return dhsort.ExchangePairwise, nil
+	case "one-factor":
+		return dhsort.ExchangeOneFactor, nil
+	case "bruck":
+		return dhsort.ExchangeBruck, nil
+	case "hierarchical":
+		return dhsort.ExchangeHierarchical, nil
+	case "rma-put":
+		return dhsort.ExchangeRMAPut, nil
+	}
+	return 0, fmt.Errorf("unknown exchange algorithm %q", name)
+}
+
+// parseMerge maps the wire name to the facade constant.
+func parseMerge(name string) (dhsort.MergeStrategy, error) {
+	switch name {
+	case "", "resort":
+		return dhsort.MergeResort, nil
+	case "binary-tree":
+		return dhsort.MergeBinaryTree, nil
+	case "loser-tree":
+		return dhsort.MergeLoserTree, nil
+	case "overlap":
+		return dhsort.MergeOverlap, nil
+	}
+	return 0, fmt.Errorf("unknown merge strategy %q", name)
+}
+
+// costModel maps the wire model name to a cost model ("" and "none" are
+// real time).  The service pins the paper's 16-ranks-per-node pricing.
+func costModel(name string) *dhsort.CostModel {
+	switch name {
+	case "pgas":
+		return dhsort.SuperMUCModel(16, true)
+	case "mpi":
+		return dhsort.SuperMUCModel(16, false)
+	}
+	return nil
+}
+
+// normalize validates sp against the server limits and fills defaults
+// in place.  Returns a *Reject (bad_request / too_large) on invalid specs.
+func (s *Server) normalize(sp *JobSpec) error {
+	if len(sp.Keys) > 0 && sp.N > 0 {
+		return badRequest("exactly one of keys and n must be set, got both")
+	}
+	if len(sp.Keys) == 0 && sp.N <= 0 {
+		return badRequest("one of keys (inline data) or n (generated workload) is required")
+	}
+	n := sp.N
+	if len(sp.Keys) > 0 {
+		n = len(sp.Keys)
+	}
+	if n > s.cfg.MaxN {
+		return &Reject{HTTPStatus: 413, Reason: "too_large",
+			Detail: fmt.Sprintf("job of %d keys exceeds the server limit of %d", n, s.cfg.MaxN)}
+	}
+	if sp.P == 0 {
+		sp.P = s.cfg.P
+	}
+	if sp.P < 1 || sp.P > s.cfg.MaxP {
+		return badRequest(fmt.Sprintf("p=%d outside the accepted range [1, %d]", sp.P, s.cfg.MaxP))
+	}
+	if sp.N > 0 {
+		if sp.Dist == "" {
+			sp.Dist = string(workload.Uniform)
+		}
+		ok := false
+		for _, d := range workload.Distributions {
+			if string(d) == sp.Dist {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return badRequest(fmt.Sprintf("unknown workload distribution %q", sp.Dist))
+		}
+		if sp.Seed == 0 {
+			sp.Seed = 1
+		}
+		if sp.Span == 0 {
+			sp.Span = 1e9
+		}
+	}
+	if _, err := parseExchange(sp.Exchange); err != nil {
+		return badRequest(err.Error())
+	}
+	if sp.Exchange == "" {
+		sp.Exchange = "auto"
+	}
+	if _, err := parseMerge(sp.Merge); err != nil {
+		return badRequest(err.Error())
+	}
+	if sp.Merge == "" {
+		sp.Merge = "resort"
+	}
+	switch sp.Model {
+	case "":
+		sp.Model = "none"
+	case "none", "pgas", "mpi":
+	default:
+		return badRequest(fmt.Sprintf("unknown cost model %q (want none|pgas|mpi)", sp.Model))
+	}
+	if sp.Threads < 0 {
+		return badRequest("threads must be non-negative")
+	}
+	if sp.Model != "none" && sp.Threads == 0 {
+		// Reproducible virtual clocks need a pinned thread budget.
+		sp.Threads = 1
+	}
+	switch sp.Kernel {
+	case "", "radix", "task-merge", "introsort":
+	default:
+		return badRequest(fmt.Sprintf("unknown local sort kernel %q", sp.Kernel))
+	}
+	if sp.Epsilon < 0 {
+		return badRequest("epsilon must be non-negative")
+	}
+	if sp.Fault != "" {
+		if _, err := fault.Parse(sp.Fault); err != nil {
+			return badRequest(err.Error())
+		}
+	}
+	switch sp.Recovery {
+	case "":
+		sp.Recovery = dhsort.RecoveryRespawn
+	case dhsort.RecoveryRespawn, dhsort.RecoveryShrink:
+	default:
+		return badRequest(fmt.Sprintf("unknown recovery mode %q (want respawn|shrink)", sp.Recovery))
+	}
+	return nil
+}
+
+// n returns the job's total key count.
+func (sp JobSpec) n() int {
+	if len(sp.Keys) > 0 {
+		return len(sp.Keys)
+	}
+	return sp.N
+}
+
+// config converts the normalized spec to a facade sort configuration.
+func (sp JobSpec) config(rec *dhsort.Recorder) dhsort.Config {
+	ex, _ := parseExchange(sp.Exchange)
+	mg, _ := parseMerge(sp.Merge)
+	return dhsort.Config{
+		Epsilon:  sp.Epsilon,
+		Merge:    mg,
+		Exchange: ex,
+		Threads:  sp.Threads,
+		Kernel:   sp.Kernel,
+		Recovery: sp.Recovery,
+		Recorder: rec,
+	}
+}
+
+// batchKey groups jobs that may share one world run: identical execution
+// configuration, differing only in data.
+type batchKey struct {
+	P        int
+	Model    string
+	Exchange string
+	Merge    string
+	Threads  int
+	Kernel   string
+	Epsilon  float64
+}
+
+// batchKeyOf derives the compatibility key of a normalized spec.
+func batchKeyOf(sp JobSpec) batchKey {
+	return batchKey{
+		P: sp.P, Model: sp.Model, Exchange: sp.Exchange, Merge: sp.Merge,
+		Threads: sp.Threads, Kernel: sp.Kernel, Epsilon: sp.Epsilon,
+	}
+}
+
+// batchEligible reports whether a normalized spec may join a shared world
+// run: fault-free, small, and not opted out.
+func (s *Server) batchEligible(sp JobSpec) bool {
+	return !sp.NoBatch && sp.Fault == "" && sp.n() <= s.cfg.BatchMaxKeys
+}
+
+// rankShare returns the [lo, hi) slice bounds of rank r in a contiguous
+// split of n keys over p ranks (the same fair split workload.LocalSize
+// uses: the first n%p ranks get one extra).
+func rankShare(n, p, r int) (int, int) {
+	base, rem := n/p, n%p
+	lo := r*base + min(r, rem)
+	hi := lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// timeNow is stubbed in tests that need deterministic quota refill.
+var timeNow = time.Now

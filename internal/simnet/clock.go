@@ -47,3 +47,12 @@ func (c *Clock) Arrive(t time.Duration) {
 		c.now = t
 	}
 }
+
+// Reset rewinds the clock to zero: virtual clocks drop their accumulator,
+// wall clocks restart their epoch.  Used by pooled persistent worlds between
+// jobs so every job measures its own makespan.  Owner-only, like every other
+// method.
+func (c *Clock) Reset() {
+	c.now = 0
+	c.start = time.Now()
+}
