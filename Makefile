@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race chaos chaos-repro serve serve-smoke bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew
+.PHONY: ci test race chaos chaos-repro serve serve-smoke bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew bench-split
 
 # Chaos tier defaults; override per invocation, e.g.
 #   make chaos SEED=12345 COUNT=256
@@ -80,3 +80,8 @@ bench-shrink:
 # the histogram sort's count-exact splitting.
 bench-skew:
 	go run ./cmd/bench -exp skew
+
+# k-ary probing ablation: refinement rounds and modelled Splitting time vs
+# probes per boundary (1, 2, 4, 8, 16) at P in {16, 64}, full-range keys.
+bench-split:
+	go run ./cmd/bench -exp split

@@ -63,6 +63,10 @@ if [ "${1:-}" = "bench" ]; then
     go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -fault die=3@1,seed=7 -recovery shrink > /dev/null
     go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -alg hss -fault die=3@1,seed=7 -recovery shrink > /dev/null
 
+    echo "== probes smoke (k-ary splitter refinement must verify end to end)"
+    go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -probes 8 > /dev/null
+    go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -alg hss -probes 8 > /dev/null
+
     echo "== bench smoke (BENCH_ci.json)"
     go run ./cmd/bench -json BENCH_ci.json -smoke
     # Same grid with the parallel intra-rank kernels engaged: exercises the
@@ -106,6 +110,17 @@ if [ "${1:-}" = "serve" ]; then
     job2=$("$tmp/dhsort" submit -tenant ci -n 10000 -wait 2> "$tmp/wait2.log")
     grep -q 'pool_hit=true' "$tmp/wait2.log" || { echo "serve smoke: second job missed the world pool" >&2; cat "$tmp/wait2.log" >&2; exit 1; }
     "$tmp/dhsort" stats | grep -q '"hits": ' || { echo "serve smoke: /v1/metrics has no pool counters" >&2; exit 1; }
+    # k-ary probing end to end: an 8-probe job must stream a sorted result.
+    job3=$("$tmp/dhsort" submit -tenant ci -n 50000 -dist zipf -probes 8 -wait)
+    "$tmp/dhsort" result "$job3" > "$tmp/out3.txt"
+    sort -c -n "$tmp/out3.txt"
+    lines3=$(wc -l < "$tmp/out3.txt")
+    [ "$lines3" -eq 50000 ] || { echo "serve smoke: probes job got $lines3 keys, want 50000" >&2; exit 1; }
+    # Same tenant + distribution again: the splitter warm-start cache must
+    # seed this repeat (job1 and job3 populated the zipf entry).
+    job4=$("$tmp/dhsort" submit -tenant ci -n 50000 -dist zipf -wait 2> "$tmp/wait4.log")
+    grep -q 'warm_start=true' "$tmp/wait4.log" || { echo "serve smoke: repeat job missed the warm-start cache" >&2; cat "$tmp/wait4.log" >&2; exit 1; }
+    "$tmp/dhsort" stats | grep -q '"warm_hits": ' || { echo "serve smoke: /v1/metrics has no warm-start counters" >&2; exit 1; }
     kill $srv_pid
     wait $srv_pid 2>/dev/null || true
     trap - EXIT

@@ -84,9 +84,11 @@ func clientSubmit(args []string) int {
 		thr    = fs.Int("threads", 0, "intra-rank worker budget")
 		kern   = fs.String("kernel", "", "local sort kernel")
 		eps    = fs.Float64("eps", 0, "load-balance threshold")
+		probes = fs.Int("probes", 0, "histogram probes per unfinished splitter per round (0/1 = bisection)")
 		fspec  = fs.String("fault", "", "seeded fault schedule")
 		rcv    = fs.String("recovery", "", "die= recovery: respawn|shrink")
 		noB    = fs.Bool("no-batch", false, "opt out of job batching")
+		noW    = fs.Bool("no-warm", false, "opt out of the warm-start splitter cache")
 		keysF  = fs.String("keys-file", "", "inline keys, one decimal per line (\"-\" = stdin)")
 		wait   = fs.Bool("wait", false, "poll until the job finishes; exit nonzero unless done and verified")
 		tmo    = fs.Duration("timeout", 5*time.Minute, "poll deadline with -wait")
@@ -96,8 +98,8 @@ func clientSubmit(args []string) int {
 	spec := server.JobSpec{
 		N: *n, Dist: *dist, Seed: *seed, Span: *span, P: *p,
 		Exchange: *exch, Merge: *merge, Model: *model, Threads: *thr,
-		Kernel: *kern, Epsilon: *eps, Fault: *fspec, Recovery: *rcv,
-		NoBatch: *noB,
+		Kernel: *kern, Epsilon: *eps, Probes: *probes, Fault: *fspec,
+		Recovery: *rcv, NoBatch: *noB, NoWarm: *noW,
 	}
 	if *keysF != "" {
 		ks, err := readKeys(*keysF)
@@ -150,8 +152,8 @@ func clientSubmit(args []string) int {
 	}
 	switch {
 	case st.State == server.StateDone && st.Verified:
-		fmt.Fprintf(os.Stderr, "dhsort: job %s done: n=%d p=%d alg=%s batched=%v pool_hit=%v verified=%v makespan=%v\n",
-			st.ID, st.N, st.P, st.Algorithm, st.Batched, st.PoolHit, st.Verified,
+		fmt.Fprintf(os.Stderr, "dhsort: job %s done: n=%d p=%d alg=%s batched=%v pool_hit=%v warm_start=%v verified=%v makespan=%v\n",
+			st.ID, st.N, st.P, st.Algorithm, st.Batched, st.PoolHit, st.WarmStart, st.Verified,
 			time.Duration(st.MakespanNS).Round(time.Microsecond))
 		return 0
 	case st.State == server.StateDone:

@@ -36,22 +36,23 @@ func main() {
 		}
 	}
 	var (
-		p     = flag.Int("p", 8, "number of ranks")
-		n     = flag.Int("n", 1<<20, "total number of keys")
-		dist  = flag.String("dist", "uniform", "distribution: uniform|normal|zipf|nearly-sorted|duplicate-heavy|all-equal")
-		span  = flag.Uint64("span", 1e9, "key span (0 = full uint64 range)")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		eps   = flag.Float64("eps", 0, "load-balance threshold (0 = perfect partitioning)")
-		merge = flag.String("merge", "resort", "local merge: resort|binary-tree|loser-tree|overlap")
-		exch  = flag.String("exchange", "auto", "data exchange: auto|pairwise|one-factor|bruck|hierarchical|rma-put")
-		alg   = flag.String("alg", "dhsort", "algorithm: dhsort|hss|samplesort|hyksort|bitonic")
-		model = flag.String("model", "none", "cost model: none (real time) | pgas | mpi")
-		rpn   = flag.Int("ranks-per-node", 16, "ranks per node for the cost model")
-		scale = flag.Float64("scale", 1, "virtual data-scale multiplier (with a cost model)")
-		thr   = flag.Int("threads", 0, "intra-rank worker budget for dhsort/hss compute kernels (0 = GOMAXPROCS; set 1 for reproducible virtual clocks)")
-		kern  = flag.String("kernel", "", "force the dhsort Local Sort kernel: radix|task-merge|introsort (empty = dispatch by key type)")
-		fspec = flag.String("fault", "", "seeded fault schedule, e.g. drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us,die=5@1 (empty = fault-free)")
-		rcv   = flag.String("recovery", "respawn", "permanent-death (die=) recovery: respawn (death is fatal) | shrink (continue on the survivors)")
+		p      = flag.Int("p", 8, "number of ranks")
+		n      = flag.Int("n", 1<<20, "total number of keys")
+		dist   = flag.String("dist", "uniform", "distribution: uniform|normal|zipf|nearly-sorted|duplicate-heavy|all-equal")
+		span   = flag.Uint64("span", 1e9, "key span (0 = full uint64 range)")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		eps    = flag.Float64("eps", 0, "load-balance threshold (0 = perfect partitioning)")
+		probes = flag.Int("probes", 1, "histogram probes per unfinished splitter per round for dhsort/hss (1 = bisection)")
+		merge  = flag.String("merge", "resort", "local merge: resort|binary-tree|loser-tree|overlap")
+		exch   = flag.String("exchange", "auto", "data exchange: auto|pairwise|one-factor|bruck|hierarchical|rma-put")
+		alg    = flag.String("alg", "dhsort", "algorithm: dhsort|hss|samplesort|hyksort|bitonic")
+		model  = flag.String("model", "none", "cost model: none (real time) | pgas | mpi")
+		rpn    = flag.Int("ranks-per-node", 16, "ranks per node for the cost model")
+		scale  = flag.Float64("scale", 1, "virtual data-scale multiplier (with a cost model)")
+		thr    = flag.Int("threads", 0, "intra-rank worker budget for dhsort/hss compute kernels (0 = GOMAXPROCS; set 1 for reproducible virtual clocks)")
+		kern   = flag.String("kernel", "", "force the dhsort Local Sort kernel: radix|task-merge|introsort (empty = dispatch by key type)")
+		fspec  = flag.String("fault", "", "seeded fault schedule, e.g. drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us,die=5@1 (empty = fault-free)")
+		rcv    = flag.String("recovery", "respawn", "permanent-death (die=) recovery: respawn (death is fatal) | shrink (continue on the survivors)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *probes < 0 || *probes > dhsort.MaxProbes {
+		fmt.Fprintf(os.Stderr, "dhsort: -probes %d outside the accepted range [0, %d]\n", *probes, dhsort.MaxProbes)
+		os.Exit(2)
+	}
+
 	plan, err := fault.Parse(*fspec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhsort:", err)
@@ -140,13 +146,13 @@ func main() {
 		switch *alg {
 		case "dhsort":
 			out, eff, err = dhsort.SortResilient(c, local, dhsort.Uint64Ops, dhsort.Config{
-				Epsilon: *eps, Merge: ms, Exchange: ex, VirtualScale: *scale, Threads: *thr, Kernel: *kern, Recorder: rec,
-				Recovery: *rcv,
+				Epsilon: *eps, Probes: *probes, Merge: ms, Exchange: ex, VirtualScale: *scale, Threads: *thr, Kernel: *kern,
+				Recorder: rec, Recovery: *rcv,
 			})
 		case "hss":
 			out, eff, err = hss.SortResilient(c, local, keys.Uint64{}, hss.Config{
-				Epsilon: *eps, Exchange: ex, VirtualScale: *scale, Threads: *thr, Recorder: rec, Seed: *seed,
-				Recovery: *rcv,
+				Epsilon: *eps, Probes: *probes, Exchange: ex, VirtualScale: *scale, Threads: *thr, Recorder: rec,
+				Seed: *seed, Recovery: *rcv,
 			})
 		case "samplesort":
 			out, err = samplesort.Sort(c, local, keys.Uint64{}, samplesort.Config{

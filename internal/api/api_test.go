@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -338,17 +339,57 @@ func TestQueueFullBackpressure(t *testing.T) {
 	defer ts.Close()
 	c := newClient(t, ts.URL)
 
+	// The wedge job is pure CPU; on a small GOMAXPROCS (a 1-core CI box) it
+	// starves the probe HTTP round trips below until it has already
+	// finished, and the queue then drains as fast as serial submits can
+	// fill it — the 429 would never be observable.  Give the scheduler
+	// room for the duration.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(4, runtime.GOMAXPROCS(0))))
+
 	// Wedge the lone worker on a fat job, confirmed running before probing.
-	wedge := c.submit("burst", server.JobSpec{N: 1 << 21, NoBatch: true})
+	wedge := c.submit("burst", server.JobSpec{N: 1 << 21, Threads: 1, NoBatch: true})
 	if wedge.code != http.StatusAccepted {
 		t.Fatalf("wedge submit = HTTP %d", wedge.code)
 	}
 	c.waitRunning(wedge.st.ID, 30*time.Second)
 
+	// Probe with a concurrent burst: the requests all reach admission while
+	// the worker is still wedged, so the 1-deep queue must turn at least
+	// one away.  (Serial probes would race each round trip against the
+	// wedge's remaining runtime.)
+	replies := make([]submitReply, 20)
+	var wg sync.WaitGroup
+	for i := range replies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(server.JobSpec{Keys: []uint64{2, 1}, NoBatch: true})
+			req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				replies[i].code = -1
+				return
+			}
+			req.Header.Set("X-Tenant", "burst")
+			resp, err := c.hc.Do(req)
+			if err != nil {
+				replies[i].code = -1
+				return
+			}
+			defer resp.Body.Close()
+			replies[i].code = resp.StatusCode
+			replies[i].retryAfter = resp.Header.Get("Retry-After")
+			if resp.StatusCode == http.StatusAccepted {
+				_ = json.NewDecoder(resp.Body).Decode(&replies[i].st)
+			} else {
+				_ = json.NewDecoder(resp.Body).Decode(&replies[i].rej)
+			}
+		}(i)
+	}
+	wg.Wait()
+
 	ids := []string{wedge.st.ID}
 	sawFull := false
-	for i := 0; i < 20 && !sawFull; i++ {
-		rep := c.submit("burst", server.JobSpec{Keys: []uint64{2, 1}, NoBatch: true})
+	for i, rep := range replies {
 		switch rep.code {
 		case http.StatusAccepted:
 			ids = append(ids, rep.st.ID)
@@ -387,8 +428,12 @@ func TestResultNotReadyAndErrors(t *testing.T) {
 	c := newClient(t, ts.URL)
 
 	// A fat job wedges the lone worker — confirmed running before the next
-	// submit — so the queued job cannot be done when its result is asked for.
-	wedge := c.submit("t", server.JobSpec{N: 1 << 21, NoBatch: true})
+	// submit — so the queued job cannot be done when its result is asked
+	// for.  GOMAXPROCS headroom so the CPU-bound wedge cannot starve those
+	// HTTP round trips past its own runtime on a 1-core box (see
+	// TestQueueFullBackpressure).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(4, runtime.GOMAXPROCS(0))))
+	wedge := c.submit("t", server.JobSpec{N: 1 << 21, Threads: 1, NoBatch: true})
 	if wedge.code != http.StatusAccepted {
 		t.Fatalf("wedge submit = HTTP %d", wedge.code)
 	}

@@ -93,6 +93,7 @@ var Experiments = []Experiment{
 	{"exchange", "ablation — two-sided ALLTOALLV vs fused overlap vs one-sided RMA put", ExchangeStudy},
 	{"collectives", "micro — modelled collective latencies vs rank count", Collectives},
 	{"splitters", "ablation — splitter strategies: histogram vs sampled vs selection", Splitters},
+	{"split", "ablation — k-ary splitter probing: rounds and Splitting time vs probes per boundary", SplitStudy},
 	{"skew", "extension — PGX.D-style duplicate floods: imbalance vs flood fraction by splitter strategy", SkewStudy},
 	{"fault", "extension — resilience degradation under seeded fault schedules (drop rate × crashes)", FaultStudy},
 	{"shrink", "extension — graceful degradation: crash-respawn vs die-shrink recovery", ShrinkStudy},

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/core"
+	"dhsort/internal/keys"
+	"dhsort/internal/metrics"
+	"dhsort/internal/simnet"
+	"dhsort/internal/workload"
+)
+
+// dhsortProbesSorter is dhsort with k-ary splitter probing: k probes per
+// unfinished boundary per refinement round instead of the bisection
+// midpoint, trading a k·(P-1)-sized ALLREDUCE payload for log_{k+1} rounds.
+func dhsortProbesSorter(threads, probes int) sorter {
+	name := "dhsort"
+	if probes > 1 {
+		name = fmt.Sprintf("dhsort-p%d", probes)
+	}
+	return sorter{name, func(c *comm.Comm, local []uint64, scale float64, rec *metrics.Recorder, _ uint64) ([]uint64, error) {
+		return core.Sort(c, local, keys.Uint64{}, core.Config{
+			Probes: probes, VirtualScale: scale, Threads: threads, Recorder: rec})
+	}}
+}
+
+// SplitStudy is the k-ary probing ablation: refinement rounds and modelled
+// Splitting time against the probe count, on full-range 64-bit keys (the
+// paper's histogramming-dominates regime: 60-64 bisection rounds, §V-A).
+// Rounds drop from log2(range) to log_{k+1}(range) while each round's
+// ALLREDUCE carries k counters per boundary — the table shows where the
+// latency saved on rounds outweighs the fatter payload.
+func SplitStudy(o Options) error {
+	const perRank = 4096
+	model := simnet.SuperMUC(suiteRanksPerNode, true)
+	probeCounts := []int{1, 2, 4, 8, 16}
+
+	for _, p := range []int{16, 64} {
+		// Full-range keys (span 0): the widest refinement intervals and the
+		// clearest round-count contrast.
+		spec := workload.Spec{Dist: workload.Uniform, Seed: o.Seed, Span: 0}
+		fmt.Fprintf(o.Out, "splitter refinement vs probes per boundary, p=%d n/p=%d full-range uint64\n", p, perRank)
+		fmt.Fprintf(o.Out, "%-8s %8s %14s %14s\n", "probes", "rounds", "splitting", "makespan")
+		var base time.Duration
+		for _, k := range probeCounts {
+			pt, err := runOnce(dhsortProbesSorter(o.threads(), k), p, perRank, model, 1, spec)
+			if err != nil {
+				return fmt.Errorf("split p=%d probes=%d: %w", p, k, err)
+			}
+			split := pt.Phases.Times[metrics.Histogram]
+			if k == 1 {
+				base = split
+			}
+			fmt.Fprintf(o.Out, "%-8d %8d %12dns %12dns  (%.2fx splitting vs bisection)\n",
+				k, pt.Phases.MaxIterations, split.Nanoseconds(), pt.Makespan.Nanoseconds(),
+				float64(split)/float64(base))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	fmt.Fprintf(o.Out, "expected shape: rounds fall ~log_{k+1}(2^64) (64, 40, 27, 20, 16);\n")
+	fmt.Fprintf(o.Out, "splitting time falls until the k-wide ALLREDUCE payload and the extra\n")
+	fmt.Fprintf(o.Out, "local binary searches eat the round savings.\n")
+	return nil
+}

@@ -136,6 +136,9 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 	}
 	sorters := []sorter{
 		dhsortSorter(threads), dhsortFusedSorter(threads), dhsortRMASorter(threads),
+		// dhsort-p8 is the k-ary probing configuration: additive records —
+		// the plain dhsort rows (and their byte-exact history) are untouched.
+		dhsortProbesSorter(threads, 8),
 		hssSorter(threads), samplesortSorter(), hyksortSorter(), bitonicSorter(),
 	}
 	for _, s := range sorters {

@@ -17,7 +17,7 @@ func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]bool{
-		"dhsort": false, "dhsort-fused": false, "dhsort-rma": false,
+		"dhsort": false, "dhsort-fused": false, "dhsort-rma": false, "dhsort-p8": false,
 		"hss": false, "samplesort": false, "hyksort": false, "bitonic": false,
 	}
 	byAlg := make(map[string]metrics.Record)

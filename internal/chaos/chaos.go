@@ -75,6 +75,9 @@ type Scenario struct {
 	Dist      workload.Distribution
 	FloodFrac float64
 	Epsilon   float64
+	// Probes is the histogram probes per unfinished splitter boundary per
+	// refinement round (1 = bisection, the classic path).
+	Probes int
 	// Recovery is core.RecoveryRespawn or core.RecoveryShrink (always
 	// shrink when the plan schedules permanent deaths).
 	Recovery string
@@ -113,8 +116,11 @@ func (s Scenario) String() string {
 		faults = " fault-free"
 	}
 	extra := ""
+	if s.Probes > 1 {
+		extra += fmt.Sprintf(" probes=%d", s.Probes)
+	}
 	if s.Rebalance {
-		extra = " rebalance"
+		extra += " rebalance"
 	}
 	return fmt.Sprintf("#%d %s p=%d n=%d t=%d %s eps=%.2f %s%s%s",
 		s.Index, s.Algorithm, s.P, s.PerRank, s.Threads, s.Dist, s.Epsilon, s.Recovery, extra, faults)
@@ -142,6 +148,7 @@ func Generate(seed uint64, index int) Scenario {
 		Threads:   1 + pick(2),
 		Dist:      distributions[pick(len(distributions))],
 		Epsilon:   []float64{0, 0, 0.1, 0.34}[pick(4)],
+		Probes:    []int{1, 1, 4, 8}[pick(4)],
 		Recovery:  core.RecoveryRespawn,
 	}
 	if sc.Dist == workload.DuplicateFlood {
@@ -309,23 +316,26 @@ func execute(sc Scenario) (execution, error) {
 		switch sc.Algorithm {
 		case "dhsort":
 			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
-				Epsilon: sc.Epsilon, Threads: sc.Threads, Recovery: sc.Recovery,
-				Rebalance: sc.Rebalance, Recorder: rec,
+				Epsilon: sc.Epsilon, Probes: sc.Probes, Threads: sc.Threads,
+				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Recorder: rec,
 			})
 		case "dhsort-fused":
 			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
-				Epsilon: sc.Epsilon, Merge: core.MergeOverlap, Threads: sc.Threads,
-				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Recorder: rec,
+				Epsilon: sc.Epsilon, Probes: sc.Probes, Merge: core.MergeOverlap,
+				Threads: sc.Threads, Recovery: sc.Recovery, Rebalance: sc.Rebalance,
+				Recorder: rec,
 			})
 		case "dhsort-rma":
 			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
-				Epsilon: sc.Epsilon, Exchange: comm.ExchangeRMAPut, Threads: sc.Threads,
-				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Recorder: rec,
+				Epsilon: sc.Epsilon, Probes: sc.Probes, Exchange: comm.ExchangeRMAPut,
+				Threads: sc.Threads, Recovery: sc.Recovery, Rebalance: sc.Rebalance,
+				Recorder: rec,
 			})
 		case "hss":
 			out, eff, err = hss.SortResilient(c, local, keys.Uint64{}, hss.Config{
-				Epsilon: sc.Epsilon, Threads: sc.Threads, Recovery: sc.Recovery,
-				Rebalance: sc.Rebalance, Seed: spec.Seed, Recorder: rec,
+				Epsilon: sc.Epsilon, Probes: sc.Probes, Threads: sc.Threads,
+				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Seed: spec.Seed,
+				Recorder: rec,
 			})
 		default:
 			return fmt.Errorf("chaos: unknown algorithm %q", sc.Algorithm)

@@ -25,10 +25,12 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestCorpusVaries(t *testing.T) {
 	algs := map[string]bool{}
 	dists := map[string]bool{}
+	probes := map[int]bool{}
 	deaths, crashes, msg := 0, 0, 0
 	for _, sc := range Corpus(pinnedSeed, 64) {
 		algs[sc.Algorithm] = true
 		dists[string(sc.Dist)] = true
+		probes[sc.Probes] = true
 		if len(sc.Plan.Deaths) > 0 {
 			deaths++
 		}
@@ -42,6 +44,11 @@ func TestCorpusVaries(t *testing.T) {
 	if len(algs) < 3 || len(dists) < 6 || deaths == 0 || crashes == 0 || msg == 0 {
 		t.Fatalf("corpus lacks variety: algs=%d dists=%d deaths=%d crashes=%d msg=%d",
 			len(algs), len(dists), deaths, crashes, msg)
+	}
+	// The k-ary refinement path must compose with faults in the corpus:
+	// bisection plus at least one multi-probe count.
+	if !probes[1] || len(probes) < 2 {
+		t.Fatalf("corpus lacks probe variety: %v", probes)
 	}
 }
 

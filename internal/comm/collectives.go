@@ -107,12 +107,23 @@ func Reduce[T any](c *Comm, root int, data []T, op func(a, b T) T) []T {
 // rank.  Recursive doubling with the standard fold for non-power-of-two
 // communicators: ceil(log2 P)+2 rounds.
 func Allreduce[T any](c *Comm, data []T, op func(a, b T) T) []T {
-	base := c.nextSeq()
-	p := c.Size()
 	acc := make([]T, len(data))
 	copy(acc, data)
+	return AllreduceInPlace(c, acc, op)
+}
+
+// AllreduceInPlace is Allreduce accumulating into data itself: on return,
+// data holds the global reduction (and is also returned for convenience).
+// The schedule, message counts and priced bytes are identical to Allreduce;
+// only the caller-side result allocation is gone — the variant hot loops
+// (splitter refinement's per-round histograms, whose payload shrinks with
+// the active set) call with a buffer reused round after round.  sendSlice
+// copies outgoing payloads, so mutating data between rounds is safe.
+func AllreduceInPlace[T any](c *Comm, data []T, op func(a, b T) T) []T {
+	base := c.nextSeq()
+	p := c.Size()
 	if p == 1 {
-		return acc
+		return data
 	}
 	pof2 := 1 << (bits.Len(uint(p)) - 1)
 	rem := p - pof2
@@ -121,11 +132,12 @@ func Allreduce[T any](c *Comm, data []T, op func(a, b T) T) []T {
 	switch {
 	case c.rank < 2*rem && c.rank%2 == 0:
 		// Fold: hand the vector to the odd neighbour and wait for the result.
-		sendSlice(c, c.rank+1, base, acc, 1)
-		return recvSlice[T](c, c.rank+1, base+1+logp)
+		sendSlice(c, c.rank+1, base, data, 1)
+		copy(data, recvSlice[T](c, c.rank+1, base+1+logp))
+		return data
 	case c.rank < 2*rem:
 		other := recvSlice[T](c, c.rank-1, base)
-		combine(acc, other, op)
+		combine(data, other, op)
 		newRank = c.rank / 2
 	default:
 		newRank = c.rank - rem
@@ -137,15 +149,15 @@ func Allreduce[T any](c *Comm, data []T, op func(a, b T) T) []T {
 		if partnerNew < rem {
 			partner = partnerNew*2 + 1
 		}
-		sendSlice(c, partner, base+round, acc, 1)
+		sendSlice(c, partner, base+round, data, 1)
 		other := recvSlice[T](c, partner, base+round)
-		combine(acc, other, op)
+		combine(data, other, op)
 		round++
 	}
 	if c.rank < 2*rem {
-		sendSlice(c, c.rank-1, base+round, acc, 1)
+		sendSlice(c, c.rank-1, base+round, data, 1)
 	}
-	return acc
+	return data
 }
 
 // AllreduceOne combines a single value across all ranks.

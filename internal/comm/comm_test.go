@@ -276,6 +276,29 @@ func TestAllreduce(t *testing.T) {
 	}
 }
 
+func TestAllreduceInPlace(t *testing.T) {
+	add := func(a, b int) int { return a + b }
+	for _, p := range testSizes {
+		run(t, p, func(c *Comm) error {
+			// The in-place variant must match the copying variant and
+			// reduce into the caller's buffer rather than a fresh one.
+			data := []int{c.Rank(), 100, c.Rank() * c.Rank()}
+			want := Allreduce(c, data, add)
+			got := AllreduceInPlace(c, data, add)
+			if &got[0] != &data[0] {
+				t.Errorf("p=%d rank=%d: result not reduced into the caller's buffer", p, c.Rank())
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("p=%d rank=%d: in-place got %v, want %v", p, c.Rank(), got, want)
+					break
+				}
+			}
+			return nil
+		})
+	}
+}
+
 func TestAllreduceLengthMismatch(t *testing.T) {
 	w, _ := NewWorld(2, nil)
 	err := w.Run(func(c *Comm) error {

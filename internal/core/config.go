@@ -27,6 +27,7 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/metrics"
+	"dhsort/internal/xmath"
 )
 
 // MergeStrategy selects the Local Merge algorithm (§V-C).
@@ -150,10 +151,49 @@ type Config struct {
 	// Only meaningful in fault-injecting worlds; fault-free runs ignore it.
 	Recovery string
 
+	// Probes is the number of histogram probes placed per unfinished
+	// splitter boundary per refinement round — the k of k-ary search.
+	// 0 or 1 is the paper's bisection (one midpoint probe, round count
+	// log2 of the key range); k > 1 places k evenly spaced probes across
+	// each open interval, cutting rounds to log_{k+1} of the range at the
+	// cost of a k·(P-1)-sized ALLREDUCE payload per round.  The
+	// latency/bandwidth trade is priced honestly on the virtual clock:
+	// more search work and larger reductions per round, far fewer rounds.
+	// Capped at MaxProbes.
+	Probes int
+
+	// Warm seeds splitter refinement with per-splitter [Lo, Hi] intervals
+	// in the embedded key space — typically the converged splitters of an
+	// earlier run over the same distribution (see SplitterSink), widened
+	// by a little slack.  Ignored unless len(Warm) equals P-1.  Intervals
+	// are clamped to the run's global key extrema; a stale interval that
+	// collapses without satisfying the histogram condition falls back to
+	// the cold full-range bounds for that splitter, so warm starts can
+	// speed refinement up but never change its result.
+	Warm []WarmInterval
+
+	// SplitterSink, when non-nil, receives the converged splitter bit
+	// points and the refinement iteration count at the end of the
+	// Splitting superstep.  It is called by every rank of the collective
+	// (the splitters are identical across ranks), so implementations must
+	// be safe for concurrent use.  The sort service's warm-start cache
+	// feeds on it.
+	SplitterSink func(bits []xmath.U128, iters int)
+
 	// Recorder, when non-nil, receives this rank's phase timings and
 	// iteration counts.
 	Recorder *metrics.Recorder
 }
+
+// WarmInterval is one splitter's warm-start bound in the embedded key
+// space (see Config.Warm and keys.Ops.ToBits).
+type WarmInterval struct {
+	Lo, Hi xmath.U128
+}
+
+// MaxProbes bounds Config.Probes: beyond this the ALLREDUCE payload grows
+// without measurably cutting rounds (log_{65}(2^64) is already ~11).
+const MaxProbes = 64
 
 // Recovery modes for Config.Recovery.
 const (
@@ -181,6 +221,14 @@ func (cfg Config) threads() int {
 	return cfg.Threads
 }
 
+// probes returns the effective probe count per unfinished boundary.
+func (cfg Config) probes() int {
+	if cfg.Probes <= 1 {
+		return 1
+	}
+	return cfg.Probes
+}
+
 // maxIters returns the effective iteration bound.
 func (cfg Config) maxIters() int {
 	if cfg.MaxIterations <= 0 {
@@ -202,6 +250,12 @@ func (cfg Config) validate() error {
 	}
 	if cfg.Threads < 0 {
 		return fmt.Errorf("core: Threads must be non-negative, got %d", cfg.Threads)
+	}
+	if cfg.Probes < 0 {
+		return fmt.Errorf("core: Probes must be non-negative, got %d", cfg.Probes)
+	}
+	if cfg.Probes > MaxProbes {
+		return fmt.Errorf("core: Probes must be at most %d, got %d", MaxProbes, cfg.Probes)
 	}
 	switch cfg.Kernel {
 	case "", KernelRadix, KernelTaskMerge, KernelIntrosort:

@@ -8,14 +8,20 @@ import (
 	"dhsort/internal/xmath"
 )
 
-// splitterState tracks one splitter's bisection interval in the embedded
+// splitterState tracks one splitter's refinement interval in the embedded
 // key space: the (S_il, S_i, S_iu) tuple of §V-A, with the bounds kept as
-// bit points so that S_i <- (S_il + S_iu)/2 (Algorithm 3, line 6) always
-// makes progress and converges within the key width.
+// bit points so that probe placement (Algorithm 3, line 6 — generalized
+// from the bisection midpoint to k evenly spaced points) always makes
+// progress and converges within the key width.
 type splitterState[K any] struct {
 	lo, hi xmath.U128
-	done   bool
-	value  K
+	// warm marks bounds seeded from Config.Warm: if such an interval
+	// collapses without satisfying the histogram condition, the seed was
+	// stale and the state falls back to the cold full-range bounds
+	// instead of accepting a wrong point.
+	warm  bool
+	done  bool
+	value K
 }
 
 // minMax carries one rank's key extrema through a reduction.
@@ -41,11 +47,92 @@ func mergeMinMax(a, b minMax) minMax {
 	return out
 }
 
+// placeProbes appends the probe points for one unfinished splitter interval
+// [lo, hi] to dst and returns the extended slice.  k = 1 yields the paper's
+// bisection midpoint; k > 1 yields k evenly spaced interior points (or, for
+// intervals narrower than k, every candidate point), so one round narrows
+// the interval by a factor of k+1 instead of 2.  Probe placement is a pure
+// function of the bounds — every rank computes the identical list, keeping
+// the ALLREDUCE payload consistent across the collective.
+func placeProbes(lo, hi xmath.U128, k int, dst []xmath.U128) []xmath.U128 {
+	if k <= 1 {
+		return append(dst, lo.Avg(hi))
+	}
+	width := hi.Sub(lo)
+	if width.Hi == 0 && width.Lo <= uint64(k) {
+		// Narrow interval: probe every candidate in [lo, hi).
+		if width.Lo == 0 {
+			return append(dst, lo)
+		}
+		for b := lo; b.Less(hi); b = b.Inc() {
+			dst = append(dst, b)
+		}
+		return dst
+	}
+	step := width.Div64(uint64(k) + 1)
+	b := lo
+	for j := 0; j < k; j++ {
+		b = b.Add(step)
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// clampWarm clamps a warm-start interval to the run's global key extrema
+// and reports whether anything of it survives as a usable bound.
+func clampWarm(w WarmInterval, min, max xmath.U128) (xmath.U128, xmath.U128, bool) {
+	lo, hi := w.Lo, w.Hi
+	if lo.Less(min) {
+		lo = min
+	}
+	if max.Less(hi) {
+		hi = max
+	}
+	return lo, hi, lo.Less(hi)
+}
+
+// refineSplitter applies one round's global histogram counts to a single
+// splitter state.  probes[j] is the j-th probe (ascending), global[2j] and
+// global[2j+1] its global lower/upper rank (L and U of Algorithm 2), T the
+// target rank.  Acceptance takes the first probe satisfying the Definition 4
+// condition; otherwise the counts' monotonicity brackets the answer between
+// the largest too-low probe and the smallest too-high probe, so every failed
+// probe tightens a bound and the round always makes progress.
+func refineSplitter[K any](st *splitterState[K], probes []xmath.U128, mids []K, global []int64, T, tol int64) {
+	newLo, newHi := st.lo, st.hi
+scan:
+	for j := range probes {
+		L, U := global[2*j], global[2*j+1]
+		switch {
+		case L-tol < T && T <= U+tol:
+			st.done = true
+			st.value = mids[j]
+			return
+		case U < T:
+			// Too few elements at or below the probe: the answer is
+			// strictly above.  Probes ascend, so the last one wins.
+			newLo = probes[j].Inc()
+		default:
+			// Too many strictly below (L-tol >= T): the answer is at or
+			// below this probe — and every later probe only counts more.
+			newHi = probes[j]
+			break scan
+		}
+	}
+	st.lo, st.hi = newLo, newHi
+}
+
 // FindSplitters determines the P-1 splitter values for the given rank
 // targets over the locally sorted partition (Algorithms 2+3).  targets[i]
 // is the global rank T_i that splitter i must hit: splitter i is accepted
 // when its global histogram satisfies L_i - tol < T_i <= U_i + tol
 // (Definition 4, relaxed by the ε tolerance of Definition 1).
+//
+// cfg.Probes > 1 places that many probes per unfinished boundary per round
+// (k-ary refinement); cfg.Warm seeds boundaries with intervals from an
+// earlier run.  Converged boundaries leave the histogram payload entirely,
+// so late rounds reduce O(active) counters, and the probe/histogram buffers
+// are reused across rounds — the refinement loop itself allocates nothing.
 //
 // Returns the splitter values (identical on every rank) and the number of
 // histogramming iterations.  When the input holds fewer distinct keys than
@@ -58,6 +145,7 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 		return nil, 0
 	}
 	model := c.Model()
+	k := cfg.probes()
 
 	// Global key extrema: one O(log P) reduction (§V-A).
 	local := minMax{}
@@ -84,10 +172,47 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 			states[i].value = ops.FromBits(mm.Max)
 		}
 	}
+	if len(cfg.Warm) == nsplit {
+		warmed := false
+		for i := range states {
+			if states[i].done {
+				continue
+			}
+			if lo, hi, ok := clampWarm(cfg.Warm[i], mm.Min, mm.Max); ok {
+				states[i].lo, states[i].hi, states[i].warm = lo, hi, true
+				warmed = true
+			}
+		}
+		if warmed {
+			cfg.Recorder.SetWarmStart()
+		}
+	}
+	if k > 1 {
+		cfg.Recorder.SetProbes(k)
+	}
 
+	// Round buffers, sized once for the worst round (every boundary
+	// unfinished, k probes each) and resliced per round: the loop body is
+	// allocation-free.
 	iters := 0
 	active := make([]int, 0, nsplit)
-	hist := make([]int64, 0, 2*nsplit)
+	offs := make([]int, nsplit+1)
+	probeBits := make([]xmath.U128, 0, k*nsplit)
+	mids := make([]K, k*nsplit)
+	hist := make([]int64, 2*k*nsplit)
+	// The search body and the reduction operator are built once: a closure
+	// constructed inside the loop would put one allocation back per round.
+	var (
+		curMids []K
+		curHist []int64
+	)
+	search := func(pi int) {
+		m := ops.FromBits(probeBits[pi])
+		curMids[pi] = m
+		curHist[2*pi] = int64(sortutil.LowerBound(sorted, m, ops.Less))
+		curHist[2*pi+1] = int64(sortutil.UpperBound(sorted, m, ops.Less))
+	}
+	addInt64 := func(a, b int64) int64 { return a + b }
 	for iters < cfg.maxIters() {
 		active = active[:0]
 		for i := range states {
@@ -101,45 +226,45 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 		iters++
 		cfg.Recorder.AddIteration()
 
-		// Local histogram: lower/upper bounds of each candidate by
-		// binary search in the locally sorted partition (Alg. 3 line 7).
-		// The searches are independent reads, so they fork across the
-		// thread budget.
-		hist = append(hist[:0], make([]int64, 2*len(active))...)
-		mids := make([]K, len(active))
-		workers := searchWorkers(cfg.threads(), len(active), len(sorted))
-		psort.ParallelFor(len(active), workers, func(ai int) {
-			st := &states[active[ai]]
-			mid := ops.FromBits(st.lo.Avg(st.hi))
-			mids[ai] = mid
-			hist[2*ai] = int64(sortutil.LowerBound(sorted, mid, ops.Less))
-			hist[2*ai+1] = int64(sortutil.UpperBound(sorted, mid, ops.Less))
-		})
+		// Probe placement: k points per unfinished boundary.  Converged
+		// boundaries have left the payload (active-set compaction).
+		probeBits = probeBits[:0]
+		offs[0] = 0
+		for ai, i := range active {
+			probeBits = placeProbes(states[i].lo, states[i].hi, k, probeBits)
+			offs[ai+1] = len(probeBits)
+		}
+		np := len(probeBits)
+		curMids = mids[:np]
+		curHist = hist[:2*np]
+
+		// Local histogram: lower/upper bounds of each probe by binary
+		// search in the locally sorted partition (Alg. 3 line 7).  The
+		// searches are independent reads, so they fork across the thread
+		// budget; the cost model prices every search of the round.
+		workers := searchWorkers(cfg.threads(), np, len(sorted))
+		psort.ParallelFor(np, workers, search)
 		if model != nil {
-			c.Clock().Advance(model.Threaded(model.SearchCost(len(sorted), 2*len(active)), workers))
+			c.Clock().Advance(model.Threaded(model.SearchCost(len(sorted), 2*np), workers))
 		}
 
-		// Global histogram: one ALLREDUCE (Alg. 3 line 8).
-		global := comm.Allreduce(c, hist, func(a, b int64) int64 { return a + b })
+		// Global histogram: one ALLREDUCE over the active probes
+		// (Alg. 3 line 8), reduced in place into the round buffer.
+		global := comm.AllreduceInPlace(c, curHist, addInt64)
 
-		// Validate each splitter (Algorithm 2).
+		// Validate each splitter against its probes (Algorithm 2).
 		for ai, i := range active {
 			st := &states[i]
-			L, U := global[2*ai], global[2*ai+1]
-			T := targets[i]
-			midBits := st.lo.Avg(st.hi)
-			switch {
-			case L-tol < T && T <= U+tol:
-				st.done = true
-				st.value = mids[ai]
-			case U < T:
-				// Too few elements at or below the probe: move S_il up.
-				st.lo = midBits.Inc()
-			default:
-				// Too many strictly below: move S_iu down to the probe.
-				st.hi = midBits
-			}
+			lo, hi := offs[ai], offs[ai+1]
+			refineSplitter(st, probeBits[lo:hi], curMids[lo:hi], global[2*lo:2*hi], targets[i], tol)
 			if !st.done && !st.lo.Less(st.hi) {
+				if st.warm {
+					// A stale warm interval collapsed without ever
+					// satisfying the condition: restart this boundary
+					// from the cold full-range bounds.
+					st.lo, st.hi, st.warm = mm.Min, mm.Max, false
+					continue
+				}
 				// Interval collapsed (duplicate keys without the
 				// uniqueness transformation): accept the point.
 				st.done = true
@@ -159,5 +284,12 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 	// Defensive monotonicity (valid splitter ranges for increasing targets
 	// are ascending, but collapsed intervals may break ties).
 	sortutil.Sort(out, ops.Less)
+	if cfg.SplitterSink != nil {
+		bits := make([]xmath.U128, nsplit)
+		for i := range out {
+			bits[i] = ops.ToBits(out[i])
+		}
+		cfg.SplitterSink(bits, iters)
+	}
 	return out, iters
 }

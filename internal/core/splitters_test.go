@@ -16,6 +16,12 @@ import (
 // iterationCount runs only the splitter phase and reports the iteration
 // count (identical on all ranks) — the §V-A experiment.
 func iterationCount[K any](t *testing.T, p, perRank int, gen func(r, i int) K, ops keys.Ops[K]) int {
+	return iterationCountCfg(t, p, perRank, gen, ops, Config{})
+}
+
+// iterationCountCfg is iterationCount under an explicit configuration, for
+// the k-ary probing and warm-start ablations.
+func iterationCountCfg[K any](t *testing.T, p, perRank int, gen func(r, i int) K, ops keys.Ops[K], cfg Config) int {
 	t.Helper()
 	w, _ := comm.NewWorld(p, nil)
 	var mu sync.Mutex
@@ -33,7 +39,7 @@ func iterationCount[K any](t *testing.T, p, perRank int, gen func(r, i int) K, o
 			acc += capacities[i]
 			targets[i] = acc
 		}
-		_, n := FindSplitters(c, local, ops, targets, 0, Config{})
+		_, n := FindSplitters(c, local, ops, targets, 0, cfg)
 		mu.Lock()
 		if iters == -1 {
 			iters = n
@@ -77,6 +83,44 @@ func TestIterationCountsBoundedByKeyWidth(t *testing.T) {
 	}, keys.Float32{})
 	if f32 > 34 {
 		t.Errorf("32-bit float keys took %d iterations, want <= ~32", f32)
+	}
+}
+
+func TestKaryProbingCutsRoundCount(t *testing.T) {
+	// k-ary refinement drops the round count from log2(range) to
+	// log_{k+1}(range): on full-range 64-bit keys, 8 probes per boundary
+	// must finish in at most 45% of the bisection rounds
+	// (log_9(2^64) ≈ 20 vs 60-64).
+	src := func(r, i int) uint64 {
+		x := uint64(r)*2654435761 + uint64(i)*0x9e3779b97f4a7c15
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x
+	}
+	gen := func(r, i int) uint64 { return src(r, i) }
+	bisect := iterationCountCfg(t, 8, 512, gen, keys.Uint64{}, Config{Probes: 1})
+	k8 := iterationCountCfg(t, 8, 512, gen, keys.Uint64{}, Config{Probes: 8})
+	if limit := (bisect*45 + 99) / 100; k8 > limit {
+		t.Errorf("probes=8 took %d rounds, want <= 45%% of the %d bisection rounds (%d)", k8, bisect, limit)
+	}
+	k4 := iterationCountCfg(t, 8, 512, gen, keys.Uint64{}, Config{Probes: 4})
+	if k4 >= bisect || k8 >= k4 {
+		t.Errorf("round counts not monotone in probe count: k=1 %d, k=4 %d, k=8 %d", bisect, k4, k8)
+	}
+}
+
+func TestProbesOneMatchesBisection(t *testing.T) {
+	// Probes <= 1 must reproduce the original bisection exactly — same
+	// rounds, same splitters — so default-configured runs are unchanged.
+	gen := func(r, i int) uint64 {
+		x := uint64(r)*7919 + uint64(i)*104729
+		return (x * 0x9e3779b97f4a7c15) % 1000000001
+	}
+	base := iterationCount(t, 8, 512, gen, keys.Uint64{})
+	one := iterationCountCfg(t, 8, 512, gen, keys.Uint64{}, Config{Probes: 1})
+	if base != one {
+		t.Errorf("Probes=1 took %d rounds, default bisection %d", one, base)
 	}
 }
 

@@ -36,6 +36,13 @@ type Config struct {
 	Oversampling int
 	// Seed drives sampling.
 	Seed uint64
+	// Probes is the number of histogram probes per unfinished splitter per
+	// round (see core.Config.Probes).  The primary probe stays the
+	// interpolated guess of [1]; k > 1 adds up to k-1 evenly spaced
+	// auxiliary probes across the current interval, which keeps bracketing
+	// progress even when the linear-interpolation assumption breaks on
+	// skewed keys.  0 or 1 keeps the original single-probe refinement.
+	Probes int
 	// Epsilon is the load-balance threshold of Definition 1; zero demands
 	// perfect partitioning, as in all the paper's benchmarks.
 	Epsilon float64
@@ -74,6 +81,17 @@ func (cfg Config) oversampling() int {
 		return 16
 	}
 	return cfg.Oversampling
+}
+
+func (cfg Config) probes() int {
+	k := cfg.Probes
+	switch {
+	case k <= 1:
+		return 1
+	case k > core.MaxProbes:
+		return core.MaxProbes
+	}
+	return k
 }
 
 func (cfg Config) maxIters() int {
@@ -336,7 +354,13 @@ func FindSplittersSampled[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targ
 		}
 	}
 
-	hist := make([]int64, 0, 2*nsplit)
+	k := cfg.probes()
+	if k > 1 {
+		cfg.Recorder.SetProbes(k)
+	}
+	hist := make([]int64, 0, 2*k*nsplit)
+	probeVals := make([]K, 0, k*nsplit)
+	offs := make([]int, 0, nsplit+1)
 	for iter := 0; iter < cfg.maxIters(); iter++ {
 		var active []int
 		for i := range states {
@@ -349,38 +373,78 @@ func FindSplittersSampled[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targ
 		}
 		cfg.Recorder.AddIteration()
 
+		// Probe vector: the interpolated primary probe of [1], plus up to
+		// k-1 evenly spaced auxiliary probes across the interval when
+		// cfg.Probes asks for them and the interval is wide enough.  Each
+		// boundary's probes are sorted ascending so the histogram counts
+		// can bracket the answer in a single scan.
+		probeVals = probeVals[:0]
+		offs = append(offs[:0], 0)
+		for _, i := range active {
+			st := &states[i]
+			start := len(probeVals)
+			probeVals = append(probeVals, st.probe)
+			if k > 1 && ops.Less(st.lo, st.probe) && ops.Less(st.probe, st.hi) {
+				loB, hiB := ops.ToBits(st.lo), ops.ToBits(st.hi)
+				pB := ops.ToBits(st.probe)
+				if step := hiB.Sub(loB).Div64(uint64(k)); step != (xmath.U128{}) {
+					b := loB
+					for j := 1; j < k; j++ {
+						b = b.Add(step)
+						if b == pB {
+							continue
+						}
+						if m := ops.FromBits(b); ops.Less(st.lo, m) && ops.Less(m, st.hi) {
+							probeVals = append(probeVals, m)
+						}
+					}
+				}
+			}
+			sortutil.Sort(probeVals[start:], ops.Less)
+			offs = append(offs, len(probeVals))
+		}
+		np := len(probeVals)
+
 		// The per-probe searches are independent reads of the sorted
 		// partition; fork them across the thread budget like core does.
-		hist = append(hist[:0], make([]int64, 2*len(active))...)
+		hist = append(hist[:0], make([]int64, 2*np)...)
 		workers := 1
-		if t := cfg.threads(); t > 1 && len(active) >= 2 && len(sorted) >= 4096 {
+		if t := cfg.threads(); t > 1 && np >= 2 && len(sorted) >= 4096 {
 			workers = t
-			if workers > len(active) {
-				workers = len(active)
+			if workers > np {
+				workers = np
 			}
 		}
-		psort.ParallelFor(len(active), workers, func(ai int) {
-			hist[2*ai] = int64(sortutil.LowerBound(sorted, states[active[ai]].probe, ops.Less))
-			hist[2*ai+1] = int64(sortutil.UpperBound(sorted, states[active[ai]].probe, ops.Less))
+		psort.ParallelFor(np, workers, func(pi int) {
+			hist[2*pi] = int64(sortutil.LowerBound(sorted, probeVals[pi], ops.Less))
+			hist[2*pi+1] = int64(sortutil.UpperBound(sorted, probeVals[pi], ops.Less))
 		})
 		if model != nil {
-			c.Clock().Advance(model.Threaded(model.SearchCost(len(sorted), 2*len(active)), workers))
+			c.Clock().Advance(model.Threaded(model.SearchCost(len(sorted), 2*np), workers))
 		}
 		global := comm.Allreduce(c, hist, func(a, b int64) int64 { return a + b })
 
 		for ai, i := range active {
 			st := &states[i]
-			L, U := global[2*ai], global[2*ai+1]
 			T := targets[i]
-			switch {
-			case L-tol < T && T <= U+tol:
-				st.done, st.value = true, st.probe
+		scan:
+			for j := offs[ai]; j < offs[ai+1]; j++ {
+				L, U := global[2*j], global[2*j+1]
+				switch {
+				case L-tol < T && T <= U+tol:
+					st.done, st.value = true, probeVals[j]
+					break scan
+				case L >= T:
+					// At or below this probe — and every later probe of
+					// this boundary only counts more.
+					st.hi, st.cntHi = probeVals[j], U
+					break scan
+				default: // U < T: strictly above; probes ascend, last wins.
+					st.lo, st.cntLo = probeVals[j], L
+				}
+			}
+			if st.done {
 				continue
-			case L >= T:
-				// The split point lies at or below the probe.
-				st.hi, st.cntHi = st.probe, U
-			default: // U < T: strictly above the probe.
-				st.lo, st.cntLo = st.probe, L
 			}
 			// Re-aim by interpolating the target rank between the bounds
 			// — the sampling assumption of [1].

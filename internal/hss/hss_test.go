@@ -104,6 +104,51 @@ func TestHSSDuplicates(t *testing.T) {
 	}
 }
 
+func TestHSSMultiProbe(t *testing.T) {
+	// k-ary probing must keep the perfect partition on both the friendly
+	// (uniform) and hostile (zipf) distributions for the interpolation.
+	for _, probes := range []int{2, 4, 8} {
+		for _, d := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+			spec := workload.Spec{Dist: d, Seed: 21, Span: 1e9}
+			ins, outs := runIt(t, 8, 400, spec, Config{Seed: 22, Probes: probes}, nil)
+			checkOutput(t, ins, outs, true)
+		}
+	}
+}
+
+func TestHSSMultiProbeNoSlowerOnSkew(t *testing.T) {
+	// Auxiliary probes bracket the answer even when interpolation misfires:
+	// on zipf keys, 8 probes per boundary must not take more rounds than
+	// the single interpolated probe.
+	iterations := func(probes int) int {
+		spec := workload.Spec{Dist: workload.Zipf, Seed: 31, Span: 1e9}
+		p := 8
+		w, _ := comm.NewWorld(p, nil)
+		recs := make([]*metrics.Recorder, p)
+		var mu sync.Mutex
+		err := w.Run(func(c *comm.Comm) error {
+			local, err := spec.Rank(c.Rank(), 500)
+			if err != nil {
+				return err
+			}
+			rec := metrics.ForComm(c)
+			_, err = Sort(c, local, u64, Config{Seed: 32, Probes: probes, Recorder: rec})
+			mu.Lock()
+			recs[c.Rank()] = rec
+			mu.Unlock()
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Summarize(recs).MaxIterations
+	}
+	single, multi := iterations(1), iterations(8)
+	if multi > single {
+		t.Errorf("8-probe refinement took %d rounds, single-probe %d", multi, single)
+	}
+}
+
 func TestHSSSparse(t *testing.T) {
 	spec := workload.Spec{Dist: workload.Uniform, Seed: 5, Span: 1e9, Sparse: 3}
 	ins, outs := runIt(t, 9, 200, spec, Config{Seed: 6}, nil)

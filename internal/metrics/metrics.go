@@ -132,6 +132,12 @@ type Recorder struct {
 	Links [NumPhases][simnet.NumLinkClasses]LinkTally
 	// Iterations counts histogramming iterations (§V-A).
 	Iterations int
+	// Probes is the k-ary probe count per unfinished splitter per
+	// iteration (0 when unrecorded — bisection runs record nothing).
+	Probes int
+	// WarmStart records that splitter refinement was seeded with warm
+	// intervals from an earlier run.
+	WarmStart bool
 	// ExchangedBytes counts this rank's outgoing data-exchange volume as
 	// priced by the algorithm (includes VirtualScale inflation).
 	ExchangedBytes int64
@@ -235,6 +241,21 @@ func (r *Recorder) Finish() {
 func (r *Recorder) AddIteration() {
 	if r != nil {
 		r.Iterations++
+	}
+}
+
+// SetProbes records the k-ary probe count splitter refinement ran with.
+// Bisection runs (k = 1) record nothing, keeping their documents unchanged.
+func (r *Recorder) SetProbes(k int) {
+	if r != nil {
+		r.Probes = k
+	}
+}
+
+// SetWarmStart records that splitter refinement was warm-started.
+func (r *Recorder) SetWarmStart() {
+	if r != nil {
+		r.WarmStart = true
 	}
 }
 
@@ -383,6 +404,11 @@ type Summary struct {
 	// MaxIterations is the largest per-rank iteration count (iterations
 	// are identical on every rank, so this is *the* iteration count).
 	MaxIterations int
+	// Probes is the k-ary probe count refinement ran with (identical on
+	// every rank; 0 when the run did not record one — i.e. bisection).
+	Probes int
+	// WarmStart reports whether any rank's refinement was warm-started.
+	WarmStart bool
 	// ExchangedBytes is the total exchanged volume across ranks.
 	ExchangedBytes int64
 	// TimeImbalance is max(rank total time) / mean(rank total time) — the
@@ -453,6 +479,12 @@ func Summarize(recs []*Recorder) Summary {
 		}
 		if r.Iterations > s.MaxIterations {
 			s.MaxIterations = r.Iterations
+		}
+		if r.Probes > s.Probes {
+			s.Probes = r.Probes
+		}
+		if r.WarmStart {
+			s.WarmStart = true
 		}
 		s.ExchangedBytes += r.ExchangedBytes
 		if s.ExchangeAlg == "" {

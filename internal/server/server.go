@@ -9,6 +9,7 @@ import (
 	"dhsort"
 	"dhsort/internal/metrics"
 	"dhsort/internal/workload"
+	"dhsort/internal/xmath"
 )
 
 // Reject is the typed admission/lookup error of the engine; the API layer
@@ -41,6 +42,7 @@ type Config struct {
 	BatchMax     int           // most jobs per shared world run (8)
 	BatchWait    time.Duration // linger for stragglers before running a partial batch (2ms)
 	MetricsRing  int           // per-job metrics documents retained (64)
+	WarmCap      int           // cached warm-start splitter sets (64)
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +85,9 @@ func (c Config) withDefaults() Config {
 	if c.MetricsRing <= 0 {
 		c.MetricsRing = 64
 	}
+	if c.WarmCap <= 0 {
+		c.WarmCap = 64
+	}
 	return c
 }
 
@@ -108,6 +113,9 @@ type JobStatus struct {
 	// PoolHit marks a job served by a warm pooled world (no world
 	// construction on its critical path).
 	PoolHit bool `json:"pool_hit,omitempty"`
+	// WarmStart marks a job whose splitter refinement was seeded from a
+	// compatible earlier job's converged splitters.
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Verified is the collective IsGloballySorted verdict plus an element
 	// conservation check.
 	Verified bool `json:"verified,omitempty"`
@@ -133,6 +141,7 @@ type job struct {
 	batched   bool
 	batchSize int
 	poolHit   bool
+	warmStart bool
 	verified  bool
 	survivors int
 	submitted time.Time
@@ -162,6 +171,7 @@ type Metrics struct {
 	QueueLen          int              `json:"queue_len"`
 	QueueDepth        int              `json:"queue_depth"`
 	Pool              PoolStats        `json:"pool"`
+	Warm              WarmStats        `json:"warm"`
 	Tenants           map[string]int64 `json:"tenants"`
 	Jobs              []RingEntry      `json:"jobs"`
 }
@@ -173,6 +183,7 @@ type Server struct {
 	cfg    Config
 	queue  *jobQueue
 	pool   *worldPool
+	warm   *warmCache
 	quotas *quotaTable
 	wg     sync.WaitGroup
 
@@ -200,6 +211,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		queue:   newJobQueue(cfg.QueueDepth),
 		pool:    newWorldPool(cfg.PoolIdle),
+		warm:    newWarmCache(cfg.WarmCap),
 		quotas:  newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst),
 		jobs:    make(map[string]*job),
 		tenants: make(map[string]int64),
@@ -327,6 +339,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		QueueLen:          s.queue.len(),
 		QueueDepth:        s.cfg.QueueDepth,
 		Pool:              s.pool.stats(),
+		Warm:              s.warm.stats(),
 		Tenants:           make(map[string]int64, len(s.tenants)),
 		Jobs:              append([]RingEntry(nil), s.ring...),
 	}
@@ -347,6 +360,7 @@ func (j *job) statusLocked() JobStatus {
 		Batched:     j.batched,
 		BatchSize:   j.batchSize,
 		PoolHit:     j.poolHit,
+		WarmStart:   j.warmStart,
 		Verified:    j.verified,
 		Survivors:   j.survivors,
 		Error:       j.errMsg,
@@ -404,6 +418,7 @@ type outcome struct {
 	batched   bool
 	batchSize int
 	poolHit   bool
+	warmStart bool
 	verified  bool
 	survivors int
 	makespan  time.Duration
@@ -430,6 +445,7 @@ func (s *Server) complete(j *job, oc outcome) {
 	j.batched = oc.batched
 	j.batchSize = oc.batchSize
 	j.poolHit = oc.poolHit
+	j.warmStart = oc.warmStart
 	j.verified = oc.verified
 	j.survivors = oc.survivors
 	j.makespan = oc.makespan
@@ -497,6 +513,36 @@ func (s *Server) runSingle(j *job) {
 	survivors := make([]int, p)
 	finished := make([]bool, p)
 
+	// Warm start: seed splitter refinement from a compatible completed
+	// job's converged splitters, and capture this run's own splitters
+	// through the sink for the next job.  The sink fires on every rank;
+	// the first one wins (the values are identical across ranks).
+	wkey, warmOK := warmKeyOf(j.tenant, sp)
+	var (
+		warmIvs   []dhsort.WarmInterval
+		prevIters int
+		warmHit   bool
+	)
+	if warmOK {
+		warmIvs, prevIters, warmHit = s.warm.lookup(wkey)
+	}
+	var (
+		sinkMu    sync.Mutex
+		splitters []uint64
+		sinkIters = -1
+	)
+	sink := func(bits []xmath.U128, iters int) {
+		sinkMu.Lock()
+		if sinkIters == -1 {
+			sinkIters = iters
+			splitters = make([]uint64, len(bits))
+			for i, b := range bits {
+				splitters[i] = b.Hi // Uint64Ops embeds the key in the high word
+			}
+		}
+		sinkMu.Unlock()
+	}
+
 	fn := func(c *dhsort.Comm) error {
 		rank := c.Rank()
 		local, err := localInput(sp, rank)
@@ -505,7 +551,12 @@ func (s *Server) runSingle(j *job) {
 		}
 		rec := metrics.ForComm(c)
 		recs[rank] = rec
-		out, eff, err := dhsort.SortResilient(c, local, dhsort.Uint64Ops, sp.config(rec))
+		cfg := sp.config(rec)
+		if warmOK {
+			cfg.Warm = warmIvs // nil on a cache miss
+			cfg.SplitterSink = sink
+		}
+		out, eff, err := dhsort.SortResilient(c, local, dhsort.Uint64Ops, cfg)
 		if err != nil {
 			rec.Finish()
 			return err
@@ -562,10 +613,18 @@ func (s *Server) runSingle(j *job) {
 	}
 	okAll = okAll && total == sp.n()
 
+	if warmOK && okAll && sinkIters >= 0 && len(splitters) == p-1 {
+		s.warm.store(wkey, splitters, sinkIters)
+		if warmHit && prevIters > sinkIters {
+			s.warm.addSaved(int64(prevIters - sinkIters))
+		}
+	}
+
 	oc := outcome{
 		output:    output,
 		alg:       "dhsort",
 		poolHit:   hit,
+		warmStart: warmHit,
 		verified:  okAll,
 		survivors: surv,
 		makespan:  makespan,

@@ -53,8 +53,13 @@ type JobSpec struct {
 	Fault string `json:"fault,omitempty"`
 	// Recovery selects permanent-death recovery ("respawn" or "shrink").
 	Recovery string `json:"recovery,omitempty"`
+	// Probes is the number of histogram probes per unfinished splitter per
+	// refinement round (0/1 = classic bisection; up to dhsort.MaxProbes).
+	Probes int `json:"probes,omitempty"`
 	// NoBatch opts the job out of batching.
 	NoBatch bool `json:"no_batch,omitempty"`
+	// NoWarm opts the job out of the warm-start splitter cache.
+	NoWarm bool `json:"no_warm,omitempty"`
 }
 
 // parseExchange maps the wire name to the facade constant.
@@ -181,6 +186,9 @@ func (s *Server) normalize(sp *JobSpec) error {
 	if sp.Epsilon < 0 {
 		return badRequest("epsilon must be non-negative")
 	}
+	if sp.Probes < 0 || sp.Probes > dhsort.MaxProbes {
+		return badRequest(fmt.Sprintf("probes=%d outside the accepted range [0, %d]", sp.Probes, dhsort.MaxProbes))
+	}
 	if sp.Fault != "" {
 		if _, err := fault.Parse(sp.Fault); err != nil {
 			return badRequest(err.Error())
@@ -210,6 +218,7 @@ func (sp JobSpec) config(rec *dhsort.Recorder) dhsort.Config {
 	mg, _ := parseMerge(sp.Merge)
 	return dhsort.Config{
 		Epsilon:  sp.Epsilon,
+		Probes:   sp.Probes,
 		Merge:    mg,
 		Exchange: ex,
 		Threads:  sp.Threads,
@@ -229,6 +238,7 @@ type batchKey struct {
 	Threads  int
 	Kernel   string
 	Epsilon  float64
+	Probes   int
 }
 
 // batchKeyOf derives the compatibility key of a normalized spec.
@@ -236,6 +246,7 @@ func batchKeyOf(sp JobSpec) batchKey {
 	return batchKey{
 		P: sp.P, Model: sp.Model, Exchange: sp.Exchange, Merge: sp.Merge,
 		Threads: sp.Threads, Kernel: sp.Kernel, Epsilon: sp.Epsilon,
+		Probes: sp.Probes,
 	}
 }
 

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"testing"
+)
+
+// ringIterations returns the retained metrics ring's iteration count for id.
+func ringIterations(t *testing.T, s *Server, id string) int {
+	t.Helper()
+	for _, e := range s.MetricsSnapshot().Jobs {
+		if e.ID != id {
+			continue
+		}
+		if len(e.Doc.Records) != 1 {
+			t.Fatalf("job %s retained %d records, want 1", id, len(e.Doc.Records))
+		}
+		return e.Doc.Records[0].Iterations
+	}
+	t.Fatalf("job %s not in the metrics ring", id)
+	return 0
+}
+
+func TestWarmStartHitOnRepeatDistribution(t *testing.T) {
+	s := newTestServer(Config{P: 4})
+	defer s.Close()
+	spec := JobSpec{N: 4096, Dist: "uniform", Seed: 5, P: 4, NoBatch: true}
+
+	cold := mkJob(t, s, "wc-1", spec)
+	s.runBatch([]*job{cold})
+	warm := mkJob(t, s, "wc-2", spec)
+	s.runBatch([]*job{warm})
+
+	st1, _ := s.Status("wc-1")
+	st2, _ := s.Status("wc-2")
+	if st1.WarmStart {
+		t.Error("first job of a distribution reported a warm start")
+	}
+	if !st2.WarmStart {
+		t.Error("repeat job missed the warm-start cache")
+	}
+	if !st1.Verified || !st2.Verified {
+		t.Fatalf("jobs not verified: %+v / %+v", st1, st2)
+	}
+
+	// The acceptance criterion: the warm-started repeat records strictly
+	// fewer refinement iterations than its cold first run.
+	coldIters := ringIterations(t, s, "wc-1")
+	warmIters := ringIterations(t, s, "wc-2")
+	if warmIters >= coldIters {
+		t.Errorf("warm repeat took %d iterations, cold run %d — no savings", warmIters, coldIters)
+	}
+
+	m := s.MetricsSnapshot()
+	if m.Warm.Hits != 1 || m.Warm.Misses != 1 {
+		t.Errorf("warm stats = %+v, want 1 hit / 1 miss", m.Warm)
+	}
+	if m.Warm.RoundsSaved <= 0 {
+		t.Errorf("rounds_saved = %d, want > 0", m.Warm.RoundsSaved)
+	}
+}
+
+func TestWarmStartMissOnDistributionChange(t *testing.T) {
+	s := newTestServer(Config{P: 4})
+	defer s.Close()
+	a := mkJob(t, s, "wm-1", JobSpec{N: 4096, Dist: "uniform", Seed: 5, P: 4, NoBatch: true})
+	s.runBatch([]*job{a})
+
+	// A different key model (distribution) or span must not hit.
+	b := mkJob(t, s, "wm-2", JobSpec{N: 4096, Dist: "zipf", Seed: 5, P: 4, NoBatch: true})
+	s.runBatch([]*job{b})
+	c := mkJob(t, s, "wm-3", JobSpec{N: 4096, Dist: "uniform", Seed: 5, Span: 1 << 40, P: 4, NoBatch: true})
+	s.runBatch([]*job{c})
+
+	for _, id := range []string{"wm-2", "wm-3"} {
+		if st, _ := s.Status(id); st.WarmStart {
+			t.Errorf("job %s warm-started across a key-model change", id)
+		}
+	}
+	if m := s.MetricsSnapshot(); m.Warm.Hits != 0 || m.Warm.Misses != 3 {
+		t.Errorf("warm stats = %+v, want 0 hits / 3 misses", m.Warm)
+	}
+
+	// Inline-key and opted-out jobs are ineligible: no miss is counted.
+	d := mkJob(t, s, "wm-4", JobSpec{Keys: []uint64{4, 2, 9, 1}, P: 4, NoBatch: true})
+	s.runBatch([]*job{d})
+	e := mkJob(t, s, "wm-5", JobSpec{N: 4096, Dist: "uniform", Seed: 5, P: 4, NoBatch: true, NoWarm: true})
+	s.runBatch([]*job{e})
+	if st, _ := s.Status("wm-5"); st.WarmStart {
+		t.Error("NoWarm job warm-started")
+	}
+	if m := s.MetricsSnapshot(); m.Warm.Hits+m.Warm.Misses != 3 {
+		t.Errorf("ineligible jobs touched the warm counters: %+v", m.Warm)
+	}
+}
+
+func TestWarmCacheEvictionBound(t *testing.T) {
+	s := newTestServer(Config{P: 4, WarmCap: 2})
+	defer s.Close()
+	for i, dist := range []string{"uniform", "normal", "zipf"} {
+		j := mkJob(t, s, ids(i), JobSpec{N: 4096, Dist: dist, Seed: 3, P: 4, NoBatch: true})
+		s.runBatch([]*job{j})
+	}
+	if m := s.MetricsSnapshot(); m.Warm.Entries != 2 {
+		t.Fatalf("cache holds %d entries, want the cap of 2", m.Warm.Entries)
+	}
+	// FIFO: the oldest key (uniform) was evicted, the newest survive.
+	rerun := mkJob(t, s, "we-1", JobSpec{N: 4096, Dist: "uniform", Seed: 3, P: 4, NoBatch: true})
+	s.runBatch([]*job{rerun})
+	if st, _ := s.Status("we-1"); st.WarmStart {
+		t.Error("evicted entry produced a warm start")
+	}
+	keep := mkJob(t, s, "we-2", JobSpec{N: 4096, Dist: "zipf", Seed: 3, P: 4, NoBatch: true})
+	s.runBatch([]*job{keep})
+	if st, _ := s.Status("we-2"); !st.WarmStart {
+		t.Error("retained entry missed")
+	}
+}
+
+func TestWarmStartAdversarialDriftStaysCorrect(t *testing.T) {
+	// A cached distribution that has drifted arbitrarily far must cost at
+	// most extra rounds, never correctness: poison the cache with splitters
+	// wildly above the job's actual key span.
+	s := newTestServer(Config{P: 4})
+	defer s.Close()
+	spec := JobSpec{N: 4096, Dist: "uniform", Seed: 11, P: 4, NoBatch: true}
+	if err := s.normalize(&spec); err != nil {
+		t.Fatal(err)
+	}
+	key, ok := warmKeyOf("t", spec)
+	if !ok {
+		t.Fatal("spec unexpectedly ineligible for warm start")
+	}
+	s.warm.store(key, []uint64{1 << 50, 1 << 55, 1 << 60}, 60)
+
+	j := mkJob(t, s, "wd-1", spec)
+	s.runBatch([]*job{j})
+	st, _ := s.Status("wd-1")
+	if !st.WarmStart {
+		t.Error("poisoned entry did not register as a hit")
+	}
+	if st.State != StateDone || !st.Verified {
+		t.Fatalf("drifted warm start broke the sort: %+v", st)
+	}
+	out, _, err := s.Result("wd-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []uint64
+	for r := 0; r < 4; r++ {
+		ks, err := localInput(spec, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ks...)
+	}
+	if !equalU64(out, sortedCopy(all)) {
+		t.Error("output is not the sorted workload")
+	}
+}

@@ -85,6 +85,19 @@ func (a U128) Inc() U128 { return a.Add(U128{Lo: 1}) }
 // Dec returns a-1, wrapping on underflow.
 func (a U128) Dec() U128 { return a.Sub(U128{Lo: 1}) }
 
+// Div64 returns a/d (truncated).  d must be non-zero.  Splitter refinement
+// uses it to place k evenly spaced probes across an interval: the step is
+// width/(k+1), which a 128-bit ÷ 64-bit division computes exactly.
+func (a U128) Div64(d uint64) U128 {
+	if d == 0 {
+		panic("xmath: division by zero")
+	}
+	hi := a.Hi / d
+	rem := a.Hi % d
+	lo, _ := bits.Div64(rem, a.Lo, d)
+	return U128{Hi: hi, Lo: lo}
+}
+
 // BitLen returns the number of bits required to represent a.
 func (a U128) BitLen() int {
 	if a.Hi != 0 {

@@ -64,6 +64,30 @@ func TestU128AvgBetween(t *testing.T) {
 	}
 }
 
+func TestU128Div64AgainstBig(t *testing.T) {
+	f := func(ah, al, d uint64) bool {
+		if d == 0 {
+			d = 1
+		}
+		a := U128{ah, al}
+		want := big128(a)
+		want.Div(want, new(big.Int).SetUint64(d))
+		return big128(a.Div64(d)).Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU128Div64PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div64(0) did not panic")
+		}
+	}()
+	U128From64(1).Div64(0)
+}
+
 func TestU128Rsh1(t *testing.T) {
 	cases := []struct{ in, want U128 }{
 		{U128{0, 2}, U128{0, 1}},
