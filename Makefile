@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race chaos chaos-repro serve serve-smoke bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew bench-split
+.PHONY: ci test race chaos chaos-repro serve serve-smoke bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew bench-split bench-ooc
 
 # Chaos tier defaults; override per invocation, e.g.
 #   make chaos SEED=12345 COUNT=256
@@ -85,3 +85,9 @@ bench-skew:
 # probes per boundary (1, 2, 4, 8, 16) at P in {16, 64}, full-range keys.
 bench-split:
 	go run ./cmd/bench -exp split
+
+# Out-of-core ablation: spilled runs, scratch traffic and modelled merge
+# time vs external-merge fan-in (2, 4, 8, 16) under a 1/8 memory budget,
+# against the fully resident baseline.
+bench-ooc:
+	go run ./cmd/bench -exp ooc

@@ -16,9 +16,11 @@ set -eu
 # windows (cross-goroutine direct memory writes), the shared-memory parallel
 # sort, the intra-rank kernels (fork-join merges, radix scratch reuse), the
 # fault-injection plane (adjudicated on sender goroutines, deduplicated on
-# receiver goroutines), the algorithms that drive them, and the sort service
-# (pooled persistent worlds shared across concurrent HTTP-driven jobs).
-RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/server ./internal/api"
+# receiver goroutines), the algorithms that drive them, the out-of-core store
+# (one shared run store appended and merged by every rank of a spilled
+# collective), and the sort service (pooled persistent worlds shared across
+# concurrent HTTP-driven jobs).
+RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/store ./internal/server ./internal/api"
 
 echo "== gofmt"
 fmt_out=$(gofmt -l .)
@@ -66,6 +68,19 @@ if [ "${1:-}" = "bench" ]; then
     echo "== probes smoke (k-ary splitter refinement must verify end to end)"
     go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -probes 8 > /dev/null
     go run ./cmd/dhsort -p 16 -n 65536 -model pgas -threads 1 -alg hss -probes 8 > /dev/null
+
+    # Out-of-core smoke: the spilled run (1/8 budget, filesystem scratch)
+    # must produce byte-for-byte the resident run's output.
+    echo "== ooc smoke (spilled output must equal the resident output)"
+    ooc_tmp=$(mktemp -d)
+    go run ./cmd/dhsort -p 8 -n 16384 -model pgas -threads 1 \
+        -dump "$ooc_tmp/resident.txt" > /dev/null
+    go run ./cmd/dhsort -p 8 -n 16384 -model pgas -threads 1 \
+        -mem-budget 2048 -spill-dir "$ooc_tmp/scratch" \
+        -dump "$ooc_tmp/spilled.txt" > /dev/null
+    cmp "$ooc_tmp/resident.txt" "$ooc_tmp/spilled.txt"
+    sort -c -n "$ooc_tmp/spilled.txt"
+    rm -rf "$ooc_tmp"
 
     echo "== bench smoke (BENCH_ci.json)"
     go run ./cmd/bench -json BENCH_ci.json -smoke
@@ -130,9 +145,10 @@ fi
 
 if [ "${1:-}" = "chaos" ]; then
     # Tier 2: the pinned-seed chaos corpus — 64 composed skew × fault ×
-    # recovery × backend scenarios, each checked for sortedness, multiset
-    # identity, imbalance and bit-identical replay.  A failure prints the
-    # exact single-scenario repro command (also: make chaos-repro).
+    # recovery × backend × storage scenarios, each checked for sortedness,
+    # multiset identity, imbalance, bit-identical replay and (when spilled)
+    # storage-backing independence.  A failure prints the exact
+    # single-scenario repro command (also: make chaos-repro).
     echo "== chaos corpus (pinned seed 20260807, 64 scenarios)"
     go run ./cmd/chaos -seed 20260807 -count 64
 fi

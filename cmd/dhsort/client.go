@@ -89,6 +89,8 @@ func clientSubmit(args []string) int {
 		rcv    = fs.String("recovery", "", "die= recovery: respawn|shrink")
 		noB    = fs.Bool("no-batch", false, "opt out of job batching")
 		noW    = fs.Bool("no-warm", false, "opt out of the warm-start splitter cache")
+		spill  = fs.Bool("spill", false, "run the job out-of-core against a per-job scratch store")
+		budget = fs.Int64("mem-budget", 0, "per-rank in-memory budget in bytes (implies -spill; 0 with -spill = an eighth of the per-rank input)")
 		keysF  = fs.String("keys-file", "", "inline keys, one decimal per line (\"-\" = stdin)")
 		wait   = fs.Bool("wait", false, "poll until the job finishes; exit nonzero unless done and verified")
 		tmo    = fs.Duration("timeout", 5*time.Minute, "poll deadline with -wait")
@@ -100,6 +102,7 @@ func clientSubmit(args []string) int {
 		Exchange: *exch, Merge: *merge, Model: *model, Threads: *thr,
 		Kernel: *kern, Epsilon: *eps, Probes: *probes, Fault: *fspec,
 		Recovery: *rcv, NoBatch: *noB, NoWarm: *noW,
+		Spill: *spill, MemBudget: *budget,
 	}
 	if *keysF != "" {
 		ks, err := readKeys(*keysF)
@@ -152,8 +155,8 @@ func clientSubmit(args []string) int {
 	}
 	switch {
 	case st.State == server.StateDone && st.Verified:
-		fmt.Fprintf(os.Stderr, "dhsort: job %s done: n=%d p=%d alg=%s batched=%v pool_hit=%v warm_start=%v verified=%v makespan=%v\n",
-			st.ID, st.N, st.P, st.Algorithm, st.Batched, st.PoolHit, st.WarmStart, st.Verified,
+		fmt.Fprintf(os.Stderr, "dhsort: job %s done: n=%d p=%d alg=%s batched=%v pool_hit=%v warm_start=%v spilled=%v verified=%v makespan=%v\n",
+			st.ID, st.N, st.P, st.Algorithm, st.Batched, st.PoolHit, st.WarmStart, st.Spilled, st.Verified,
 			time.Duration(st.MakespanNS).Round(time.Microsecond))
 		return 0
 	case st.State == server.StateDone:

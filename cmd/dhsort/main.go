@@ -8,9 +8,11 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -53,6 +55,10 @@ func main() {
 		kern   = flag.String("kernel", "", "force the dhsort Local Sort kernel: radix|task-merge|introsort (empty = dispatch by key type)")
 		fspec  = flag.String("fault", "", "seeded fault schedule, e.g. drop=0.01,dup=0.005,delay=0.02:50us,seed=7,crash=3@2,stall=1@1:200us,die=5@1 (empty = fault-free)")
 		rcv    = flag.String("recovery", "respawn", "permanent-death (die=) recovery: respawn (death is fatal) | shrink (continue on the survivors)")
+		budget = flag.Int64("mem-budget", 0, "per-rank in-memory budget in bytes; above it local sort spills sorted runs to the scratch store and the exchange merges from disk (0 = fully resident; dhsort/hss only)")
+		spillD = flag.String("spill-dir", "", "scratch directory for spilled runs and durable checkpoint shards (empty = run-private in-memory store)")
+		fanIn  = flag.Int("spill-fan-in", 0, "k-way merge fan-in for spilled runs (0 = default 8)")
+		dump   = flag.String("dump", "", "write the sorted output keys, one decimal per line in world-rank order, to this file")
 	)
 	flag.Parse()
 
@@ -120,12 +126,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dhsort: -recovery shrink is only supported by alg dhsort and hss, not %q\n", *alg)
 		os.Exit(2)
 	}
+	if *budget < 0 {
+		fmt.Fprintln(os.Stderr, "dhsort: -mem-budget must be non-negative")
+		os.Exit(2)
+	}
+	if (*budget > 0 || *spillD != "" || *fanIn != 0) && *alg != "dhsort" && *alg != "hss" {
+		fmt.Fprintf(os.Stderr, "dhsort: the out-of-core flags are only supported by alg dhsort and hss, not %q\n", *alg)
+		os.Exit(2)
+	}
 	w, err := comm.NewWorldWithFaults(*p, m, plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhsort:", err)
 		os.Exit(1)
 	}
 	recs := make([]*metrics.Recorder, *p)
+	outs := make([][]uint64, *p)
 	verified := true
 	var mu sync.Mutex
 	wall := time.Now()
@@ -148,11 +163,13 @@ func main() {
 			out, eff, err = dhsort.SortResilient(c, local, dhsort.Uint64Ops, dhsort.Config{
 				Epsilon: *eps, Probes: *probes, Merge: ms, Exchange: ex, VirtualScale: *scale, Threads: *thr, Kernel: *kern,
 				Recorder: rec, Recovery: *rcv,
+				MemBudget: *budget, SpillDir: *spillD, SpillFanIn: *fanIn,
 			})
 		case "hss":
 			out, eff, err = hss.SortResilient(c, local, keys.Uint64{}, hss.Config{
 				Epsilon: *eps, Probes: *probes, Exchange: ex, VirtualScale: *scale, Threads: *thr, Recorder: rec,
 				Seed: *seed, Recovery: *rcv,
+				MemBudget: *budget, SpillDir: *spillD, SpillFanIn: *fanIn,
 			})
 		case "samplesort":
 			out, err = samplesort.Sort(c, local, keys.Uint64{}, samplesort.Config{
@@ -180,6 +197,7 @@ func main() {
 		perfect := (*alg == "dhsort" || *alg == "hss") && eff.Size() == *p
 		mu.Lock()
 		verified = verified && ok && (!perfect || *eps > 0 || len(out) == len(local))
+		outs[c.Rank()] = out
 		mu.Unlock()
 		return nil
 	})
@@ -196,6 +214,10 @@ func main() {
 	}
 	if s.LocalSortKernel != "" {
 		fmt.Printf("local sort kernel: %s (%d threads)\n", s.LocalSortKernel, s.Threads)
+	}
+	if s.SpilledRuns > 0 {
+		fmt.Printf("out-of-core: %d spilled runs, %.2f MiB scratch traffic (budget %d B/rank)\n",
+			s.SpilledRuns, float64(s.SpillBytes)/(1<<20), *budget)
 	}
 	if m != nil {
 		fmt.Printf("virtual makespan: %v (SuperMUC model, %d ranks/node, scale x%g; wall %v)\n",
@@ -252,10 +274,42 @@ func main() {
 				time.Duration(s.Fault.ShrinkNS).Round(time.Microsecond), s.Survivors)
 		}
 	}
+	if *dump != "" {
+		if err := writeDump(*dump, outs); err != nil {
+			fmt.Fprintln(os.Stderr, "dhsort: dump:", err)
+			os.Exit(1)
+		}
+	}
 	if verified {
 		fmt.Println("verification: globally sorted, partition sizes OK")
 	} else {
 		fmt.Println("verification: FAILED")
 		os.Exit(1)
 	}
+}
+
+// writeDump writes the output keys in world-rank order, one decimal per
+// line — the format readKeys and the CI multiset checks consume.
+func writeDump(path string, outs [][]uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var buf []byte
+	for _, ks := range outs {
+		for _, k := range ks {
+			buf = strconv.AppendUint(buf[:0], k, 10)
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

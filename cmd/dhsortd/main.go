@@ -42,6 +42,7 @@ func main() {
 		batchMax = flag.Int("batch-max", 8, "most jobs per shared world run")
 		batchW   = flag.Duration("batch-wait", 2*time.Millisecond, "linger for batch stragglers")
 		ring     = flag.Int("metrics-ring", 64, "per-job metrics documents retained on /v1/metrics")
+		scratch  = flag.String("scratch", "", "root directory for spilled jobs' per-job run stores (empty = system temp dir)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 		P: *p, MaxP: *maxP, Workers: *workers, QueueDepth: *queue,
 		PoolIdle: *poolIdle, QuotaRate: *qRate, QuotaBurst: *qBurst,
 		MaxN: *maxN, BatchMaxKeys: *batchKey, BatchMax: *batchMax,
-		BatchWait: *batchW, MetricsRing: *ring,
+		BatchWait: *batchW, MetricsRing: *ring, ScratchDir: *scratch,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

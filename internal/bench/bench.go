@@ -97,6 +97,7 @@ var Experiments = []Experiment{
 	{"skew", "extension — PGX.D-style duplicate floods: imbalance vs flood fraction by splitter strategy", SkewStudy},
 	{"fault", "extension — resilience degradation under seeded fault schedules (drop rate × crashes)", FaultStudy},
 	{"shrink", "extension — graceful degradation: crash-respawn vs die-shrink recovery", ShrinkStudy},
+	{"ooc", "extension — out-of-core spill: merge fan-in ablation under a 1/8 memory budget", OOCStudy},
 }
 
 // Find returns the experiment with the given name.

@@ -134,11 +134,16 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 		}
 		return doc, nil
 	}
+	// dhsort-spill is the out-of-core configuration: a per-rank budget of
+	// one eighth of the input, default merge fan-in.  Like dhsort-p8, its
+	// records are additive — the resident rows stay byte-exact.
+	spillBudget := int64(grid.perRank)
 	sorters := []sorter{
 		dhsortSorter(threads), dhsortFusedSorter(threads), dhsortRMASorter(threads),
 		// dhsort-p8 is the k-ary probing configuration: additive records —
 		// the plain dhsort rows (and their byte-exact history) are untouched.
 		dhsortProbesSorter(threads, 8),
+		dhsortSpillSorter(threads, spillBudget, 0),
 		hssSorter(threads), samplesortSorter(), hyksortSorter(), bitonicSorter(),
 	}
 	for _, s := range sorters {
@@ -148,6 +153,9 @@ func RunSuite(o SuiteOptions) (metrics.Document, error) {
 				rec, err := measurePoint(s, p, grid.perRank, model, spec, reps, o.Fault)
 				if err != nil {
 					return metrics.Document{}, fmt.Errorf("bench: suite point %s/p=%d/%s: %w", s.name, p, dist, err)
+				}
+				if s.name == "dhsort-spill" {
+					rec.MemBudget = spillBudget
 				}
 				doc.Records = append(doc.Records, rec)
 				if o.Progress != nil {

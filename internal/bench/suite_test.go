@@ -18,7 +18,8 @@ func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
 	}
 	want := map[string]bool{
 		"dhsort": false, "dhsort-fused": false, "dhsort-rma": false, "dhsort-p8": false,
-		"hss": false, "samplesort": false, "hyksort": false, "bitonic": false,
+		"dhsort-spill": false,
+		"hss":          false, "samplesort": false, "hyksort": false, "bitonic": false,
 	}
 	byAlg := make(map[string]metrics.Record)
 	for _, r := range doc.Records {
@@ -60,7 +61,8 @@ func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
 		}
 		// dhsort variants and hss guarantee perfect partitioning here.
 		perfect := r.Algorithm == "dhsort" || r.Algorithm == "dhsort-fused" ||
-			r.Algorithm == "dhsort-rma" || r.Algorithm == "hss"
+			r.Algorithm == "dhsort-rma" || r.Algorithm == "dhsort-spill" ||
+			r.Algorithm == "hss"
 		if perfect && r.Imbalance.Output != 1 {
 			t.Errorf("%s: output imbalance %v, want 1.0 (perfect partitioning)", r.Key(), r.Imbalance.Output)
 		}
@@ -97,6 +99,18 @@ func TestSuiteSmokeCoversAllAlgorithms(t *testing.T) {
 	}
 	if r, ok := byAlg["dhsort-fused"]; ok && r.Exchange != "fused-1factor" {
 		t.Errorf("dhsort-fused records exchange %q, want fused-1factor", r.Exchange)
+	}
+
+	// The out-of-core record must carry its budget and spill counters and
+	// use the fused 1-factor exchange the spilled path pins.
+	if r, ok := byAlg["dhsort-spill"]; ok {
+		if r.Exchange != "fused-1factor" {
+			t.Errorf("dhsort-spill records exchange %q, want fused-1factor", r.Exchange)
+		}
+		if r.MemBudget == 0 || r.SpilledRuns == 0 || r.SpillBytes == 0 {
+			t.Errorf("dhsort-spill record missing spill fields: budget=%d runs=%d bytes=%d",
+				r.MemBudget, r.SpilledRuns, r.SpillBytes)
+		}
 	}
 
 	// The emitted document must round-trip and self-compare clean.

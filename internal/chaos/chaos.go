@@ -14,7 +14,11 @@
 //     (exactly for ε = 0); death scenarios redistribute capacity by design
 //     and skip this check;
 //  4. replay determinism — the same scenario run twice produces
-//     bit-identical outputs and the identical virtual makespan.
+//     bit-identical outputs and the identical virtual makespan;
+//  5. storage independence — out-of-core scenarios re-run with the other
+//     store backing (in-memory vs filesystem), and the digest AND the
+//     virtual makespan must match: where the spilled runs live can never
+//     leak into the output or the modelled schedule.
 //
 // Every scenario is a pure function of (corpus seed, index), so a failure
 // anywhere reproduces from two integers; ReproCommand renders the exact
@@ -24,6 +28,7 @@ package chaos
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -36,6 +41,7 @@ import (
 	"dhsort/internal/metrics"
 	"dhsort/internal/prng"
 	"dhsort/internal/simnet"
+	"dhsort/internal/store"
 	"dhsort/internal/workload"
 )
 
@@ -83,6 +89,14 @@ type Scenario struct {
 	Recovery string
 	// Rebalance enables the bounded post-merge rebalance.
 	Rebalance bool
+	// MemBudget, when positive, runs the scenario out-of-core: every rank
+	// spills local-sort runs, exchange segments and durable checkpoint
+	// shards into one shared scenario store.  The storage oracle then
+	// re-executes the run with the other backing (filesystem instead of
+	// memory) and demands the identical digest and virtual makespan.
+	MemBudget int64
+	// SpillFanIn is the external k-way merge fan-in (0 = store default).
+	SpillFanIn int
 	// Plan is the seeded fault schedule (zero = fault-free).
 	Plan fault.Plan
 }
@@ -121,6 +135,12 @@ func (s Scenario) String() string {
 	}
 	if s.Rebalance {
 		extra += " rebalance"
+	}
+	if s.MemBudget > 0 {
+		extra += fmt.Sprintf(" spill=%dB", s.MemBudget)
+		if s.SpillFanIn > 0 {
+			extra += fmt.Sprintf(" fan-in=%d", s.SpillFanIn)
+		}
 	}
 	return fmt.Sprintf("#%d %s p=%d n=%d t=%d %s eps=%.2f %s%s%s",
 		s.Index, s.Algorithm, s.P, s.PerRank, s.Threads, s.Dist, s.Epsilon, s.Recovery, extra, faults)
@@ -224,6 +244,15 @@ func Generate(seed uint64, index int) Scenario {
 	default: // no rank-level fault
 	}
 	sc.Plan = plan
+	// Out-of-core axis on roughly a quarter of the corpus: a per-rank
+	// budget of 1/8 or 1/4 of the input key volume forces spilled runs,
+	// composed against every fault class above (crash respawns and shrink
+	// adoptions then go through durable checkpoint shards in the shared
+	// store).  Drawn last so earlier corpora keep their compositions.
+	if chance(25) {
+		sc.MemBudget = int64(sc.PerRank) * []int64{1, 2}[pick(2)]
+		sc.SpillFanIn = []int{0, 2, 4}[pick(3)]
+	}
 	return sc
 }
 
@@ -257,10 +286,11 @@ type execution struct {
 	summary  metrics.Summary
 }
 
-// Run executes the scenario twice and applies the four-way oracle.
+// Run executes the scenario twice (three times when it spills) and applies
+// the oracles.
 func Run(sc Scenario) Result {
 	res := Result{Scenario: sc}
-	a, err := execute(sc)
+	a, err := execute(sc, scenarioStore(sc))
 	if err != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("run error: %v", err))
 		return res
@@ -269,8 +299,9 @@ func Run(sc Scenario) Result {
 	res.Digest = digest(a)
 	res.Failures = append(res.Failures, verify(sc, a)...)
 
-	// Replay determinism: schedule replay must be bit-identical.
-	b, err := execute(sc)
+	// Replay determinism: schedule replay must be bit-identical.  A fresh
+	// store each time — a run must not depend on leftovers of the last.
+	b, err := execute(sc, scenarioStore(sc))
 	switch {
 	case err != nil:
 		res.Failures = append(res.Failures, fmt.Sprintf("replay error: %v", err))
@@ -279,7 +310,41 @@ func Run(sc Scenario) Result {
 	case b.makespan != a.makespan:
 		res.Failures = append(res.Failures, fmt.Sprintf("replay diverged: makespan %v != %v", b.makespan, a.makespan))
 	}
+
+	// Storage independence: re-run the spilled scenario against a
+	// filesystem store.  Cost-model pricing depends only on element
+	// counts, so swapping the backing must change neither the output nor
+	// the virtual makespan — the invariant that makes the in-memory
+	// executions above representative of on-disk runs.
+	if sc.MemBudget > 0 {
+		dir, err := os.MkdirTemp("", "chaos-spill-")
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("fs scratch: %v", err))
+			return res
+		}
+		c, err := execute(sc, store.NewFS(dir))
+		os.RemoveAll(dir)
+		switch {
+		case err != nil:
+			res.Failures = append(res.Failures, fmt.Sprintf("fs-backed run error: %v", err))
+		case digest(c) != res.Digest:
+			res.Failures = append(res.Failures, fmt.Sprintf("storage backing changed the output: fs digest %x != mem %x", digest(c), res.Digest))
+		case c.makespan != a.makespan:
+			res.Failures = append(res.Failures, fmt.Sprintf("storage backing leaked into the schedule: fs makespan %v != mem %v", c.makespan, a.makespan))
+		}
+	}
 	return res
+}
+
+// scenarioStore returns a fresh shared store for an out-of-core scenario
+// (nil when the scenario is resident).  Memory backing is the default: it
+// keeps the corpus hermetic while the fs re-execution in Run covers the
+// other side of the axis.
+func scenarioStore(sc Scenario) store.Store {
+	if sc.MemBudget <= 0 {
+		return nil
+	}
+	return store.NewMem()
 }
 
 // spec builds the scenario's workload spec.
@@ -290,9 +355,9 @@ func (s Scenario) spec() workload.Spec {
 	}
 }
 
-// execute runs the scenario's world once and collects the surviving ranks'
-// partitions by world rank.
-func execute(sc Scenario) (execution, error) {
+// execute runs the scenario's world once against st (nil for resident
+// scenarios) and collects the surviving ranks' partitions by world rank.
+func execute(sc Scenario, st store.Store) (execution, error) {
 	w, err := comm.NewWorldWithFaults(sc.P, simnet.SuperMUC(4, true), sc.Plan)
 	if err != nil {
 		return execution{}, err
@@ -318,24 +383,28 @@ func execute(sc Scenario) (execution, error) {
 			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
 				Epsilon: sc.Epsilon, Probes: sc.Probes, Threads: sc.Threads,
 				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Recorder: rec,
+				MemBudget: sc.MemBudget, SpillFanIn: sc.SpillFanIn, Store: st,
 			})
 		case "dhsort-fused":
 			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
 				Epsilon: sc.Epsilon, Probes: sc.Probes, Merge: core.MergeOverlap,
 				Threads: sc.Threads, Recovery: sc.Recovery, Rebalance: sc.Rebalance,
-				Recorder: rec,
+				Recorder:  rec,
+				MemBudget: sc.MemBudget, SpillFanIn: sc.SpillFanIn, Store: st,
 			})
 		case "dhsort-rma":
 			out, eff, err = core.SortResilient(c, local, keys.Uint64{}, core.Config{
 				Epsilon: sc.Epsilon, Probes: sc.Probes, Exchange: comm.ExchangeRMAPut,
 				Threads: sc.Threads, Recovery: sc.Recovery, Rebalance: sc.Rebalance,
-				Recorder: rec,
+				Recorder:  rec,
+				MemBudget: sc.MemBudget, SpillFanIn: sc.SpillFanIn, Store: st,
 			})
 		case "hss":
 			out, eff, err = hss.SortResilient(c, local, keys.Uint64{}, hss.Config{
 				Epsilon: sc.Epsilon, Probes: sc.Probes, Threads: sc.Threads,
 				Recovery: sc.Recovery, Rebalance: sc.Rebalance, Seed: spec.Seed,
-				Recorder: rec,
+				Recorder:  rec,
+				MemBudget: sc.MemBudget, SpillFanIn: sc.SpillFanIn, Store: st,
 			})
 		default:
 			return fmt.Errorf("chaos: unknown algorithm %q", sc.Algorithm)

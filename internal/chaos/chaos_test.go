@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dhsort/internal/core"
+	"dhsort/internal/fault"
 )
 
 // PinnedSeed is the corpus ./ci.sh chaos runs; keep the small prefix green
@@ -26,7 +29,7 @@ func TestCorpusVaries(t *testing.T) {
 	algs := map[string]bool{}
 	dists := map[string]bool{}
 	probes := map[int]bool{}
-	deaths, crashes, msg := 0, 0, 0
+	deaths, crashes, msg, spills := 0, 0, 0, 0
 	for _, sc := range Corpus(pinnedSeed, 64) {
 		algs[sc.Algorithm] = true
 		dists[string(sc.Dist)] = true
@@ -40,10 +43,17 @@ func TestCorpusVaries(t *testing.T) {
 		if sc.Plan.MessageFaults() {
 			msg++
 		}
+		if sc.MemBudget > 0 {
+			spills++
+		}
 	}
 	if len(algs) < 3 || len(dists) < 6 || deaths == 0 || crashes == 0 || msg == 0 {
 		t.Fatalf("corpus lacks variety: algs=%d dists=%d deaths=%d crashes=%d msg=%d",
 			len(algs), len(dists), deaths, crashes, msg)
+	}
+	// The storage axis must show up: a fair fraction of the corpus spills.
+	if spills == 0 {
+		t.Fatal("corpus has no out-of-core scenario")
 	}
 	// The k-ary refinement path must compose with faults in the corpus:
 	// bisection plus at least one multi-probe count.
@@ -85,7 +95,7 @@ func TestReproReplaysBitIdentically(t *testing.T) {
 func TestOracleCatchesCorruption(t *testing.T) {
 	sc := Scenario{Index: 0, Seed: 7, Algorithm: "dhsort", P: 4, PerRank: 100,
 		Threads: 1, Dist: "uniform", Recovery: "respawn"}
-	ex, err := execute(sc)
+	ex, err := execute(sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +108,44 @@ func TestOracleCatchesCorruption(t *testing.T) {
 		t.Fatal("oracle missed a corrupted output")
 	}
 	// Drop an element: breaks the multiset.
-	ex2, _ := execute(sc)
+	ex2, _ := execute(sc, nil)
 	ex2.outs[1] = ex2.outs[1][:len(ex2.outs[1])-1]
 	if fails := verify(sc, ex2); len(fails) == 0 {
 		t.Fatal("oracle missed a lost element")
+	}
+}
+
+// TestStorageAxis pins the fifth oracle on hand-built out-of-core
+// scenarios: a spilled run passes the full Run — including the third,
+// filesystem-backed execution that must reproduce the in-memory digest and
+// virtual makespan bit-for-bit — composed with a crash respawn (durable
+// checkpoint shards read back from the shared store) and with a permanent
+// death (a survivor adopts the victim's shards under shrink recovery).
+func TestStorageAxis(t *testing.T) {
+	cases := []Scenario{
+		{Index: 900, Seed: 3, Algorithm: "dhsort", P: 5, PerRank: 256,
+			Threads: 1, Dist: "zipf", Recovery: core.RecoveryRespawn,
+			MemBudget: 256, SpillFanIn: 2,
+			Plan: fault.Plan{Seed: 9, Watchdog: watchdog}},
+		{Index: 901, Seed: 3, Algorithm: "dhsort-rma", P: 4, PerRank: 512,
+			Threads: 2, Dist: "duplicate-heavy", Recovery: core.RecoveryRespawn,
+			MemBudget: 512,
+			Plan: fault.Plan{Seed: 9, Watchdog: watchdog,
+				Crashes: []fault.Crash{{Rank: 2, Step: core.StepSplitting}}}},
+		{Index: 902, Seed: 3, Algorithm: "dhsort-fused", P: 5, PerRank: 256,
+			Threads: 1, Dist: "uniform", Recovery: core.RecoveryShrink,
+			MemBudget: 256, SpillFanIn: 4,
+			Plan: fault.Plan{Seed: 9, Watchdog: watchdog,
+				Deaths: []fault.Death{{Rank: 1, Step: core.StepCuts}}}},
+		{Index: 903, Seed: 3, Algorithm: "hss", P: 4, PerRank: 256,
+			Threads: 1, Dist: "zipf", Recovery: core.RecoveryRespawn,
+			Rebalance: true, MemBudget: 256,
+			Plan: fault.Plan{Seed: 9, Watchdog: watchdog}},
+	}
+	for _, sc := range cases {
+		if res := Run(sc); !res.Pass() {
+			t.Errorf("%s failed: %s", sc, strings.Join(res.Failures, "; "))
+		}
 	}
 }
 

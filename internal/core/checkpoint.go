@@ -7,6 +7,7 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
+	"dhsort/internal/store"
 )
 
 // Superstep checkpointing — the resilience half of the fault plane
@@ -80,6 +81,16 @@ type Checkpoint[K any] struct {
 	mirrorFrom  int // predecessor's communicator rank at mirror time
 	mirrorWorld int // predecessor's world rank at mirror time
 	mirrorValid bool
+
+	// Durable mode (a shared store is configured and the key embedding is
+	// lossless): shards persist as primary + replica store runs, the ring
+	// message carries only the descriptor, and restore/adoption read the
+	// store back instead of resident deep copies.
+	durable bool
+	st      store.Store
+	ops     keys.Ops[K] // retained for decode in adopt (ShrinkRecover has no ops)
+	world   int         // this rank's world rank (shard run naming)
+	elems   int64       // snapshot sorted-element count
 }
 
 // ckptDesc is the audit descriptor carried with every mirrored snapshot:
@@ -102,6 +113,17 @@ type ckptDesc struct {
 // (falling back to the ring mirror on checksum failure) and only then
 // errors with ErrCheckpointCorrupt.
 func (ck *Checkpoint[K]) Boundary(c *comm.Comm, ops keys.Ops[K], cfg Config, step int, sorted, splitters *[]K, cuts *[]int) error {
+	return ck.boundary(c, ops, cfg, step, sorted, nil, nil, splitters, cuts)
+}
+
+// boundary is the protocol shared by the resident path (sorted points at the
+// live slice, part is nil) and the external-memory path (sorted is nil, part
+// is the live disk-resident partition and plan carries its store).  With a
+// shared store and a lossless key embedding the checkpoint turns durable:
+// shards persist as primary + replica store runs and the ring carries only
+// descriptors; the collective pattern, payload pricing, and fault handling
+// are otherwise identical.
+func (ck *Checkpoint[K]) boundary(c *comm.Comm, ops keys.Ops[K], cfg Config, step int, sorted *[]K, part *extPartition[K], plan *spillPlan[K], splitters *[]K, cuts *[]int) error {
 	if ck == nil {
 		return nil
 	}
@@ -113,38 +135,75 @@ func (ck *Checkpoint[K]) Boundary(c *comm.Comm, ops keys.Ops[K], cfg Config, ste
 	model := c.Model()
 	p := c.Size()
 
+	// Durable shard storage: the spill plan's store on the external path,
+	// the configured shared store on the resident path (when present).
+	var durableSt store.Store
+	if part != nil {
+		durableSt = plan.st
+	} else if keys.Lossless(ops) {
+		durableSt = cfg.durableStore()
+	}
+	durable := durableSt != nil
+
 	// (1) Snapshot into the checkpoint store and checksum it.  The write
-	// is priced at the scaled volume, like the data it protects.
+	// is priced at the scaled volume, like the data it protects.  On the
+	// external path the sorted partition is already a sealed run; the
+	// checksum streams its images (auditing the run's own integrity on the
+	// way) instead of copying it resident.
 	ck.step = step
-	ck.sorted = snapshot(ck.sorted, sorted)
 	ck.splitters = snapshot(ck.splitters, splitters)
 	ck.cuts = snapshot(ck.cuts, cuts)
-	ck.sum = ck.checksum(ops)
-	velems := int(float64(len(ck.sorted)) * cfg.scale())
+	if part != nil {
+		ck.sorted = ck.sorted[:0]
+		ck.elems = part.count
+		sum, err := foldRunChecksum(durableSt, part.name, step, imagesOf(ops, ck.splitters), ck.cuts)
+		if err != nil {
+			return fmt.Errorf("%w: rank %d at step %d: partition run %q failed its audit at checkpoint time: %v", ErrCheckpointCorrupt, c.Rank(), step, part.name, err)
+		}
+		ck.sum = sum
+	} else {
+		ck.sorted = snapshot(ck.sorted, sorted)
+		ck.elems = int64(len(ck.sorted))
+		ck.sum = ck.checksum(ops)
+	}
+	velems := int(float64(ck.elems) * cfg.scale())
 	vbytes := int64(float64(ck.bytes(ops)) * cfg.scale())
 	if model != nil {
 		c.Clock().Advance(model.ScanCost(velems) + model.CheckpointCost(int(vbytes)))
 	}
 	rec.AddCheckpoint(vbytes)
 
+	if durable {
+		ck.durable, ck.st, ck.ops, ck.world = true, durableSt, ops, c.WorldRank()
+		if err := ck.writeDurableShards(ops, part); err != nil {
+			return err
+		}
+	} else {
+		ck.durable = false
+	}
+
 	// (2) Snapshot-mirror ring: ship a deep copy of the snapshot to the
 	// next neighbour and hold the predecessor's, auditing superstep
 	// agreement on the way.  Divergence means the checkpoint schedule
 	// itself broke — abort loudly rather than sort wrong data.  The
 	// message is priced at the snapshot's scaled volume (the struct's
-	// nominal wire size is inflated to vbytes).
+	// nominal wire size is inflated to vbytes), durable or not: durable
+	// mode ships only the descriptor, but the checkpoint traffic it models
+	// is the same shard.
 	if p > 1 {
 		tag := c.FaultControlTag()
 		next, prev := (c.Rank()+1)%p, (c.Rank()+p-1)%p
 		shard := ckptShard[K]{
-			Desc:      ckptDesc{Step: int32(step), Elems: int64(len(ck.sorted)), Sum: ck.sum},
-			Sorted:    append([]K(nil), ck.sorted...),
-			Splitters: append([]K(nil), ck.splitters...),
-			Cuts:      append([]int(nil), ck.cuts...),
+			Desc: ckptDesc{Step: int32(step), Elems: ck.elems, Sum: ck.sum},
+		}
+		if !durable {
+			shard.Sorted = append([]K(nil), ck.sorted...)
+			shard.Splitters = append([]K(nil), ck.splitters...)
+			shard.Cuts = append([]int(nil), ck.cuts...)
 		}
 		scale := shardByteScale[K](vbytes)
 		comm.SendProtocol(c, next, tag, []ckptShard[K]{shard}, scale)
-		ck.sent, ck.sentValid = shard, true
+		ck.sent, ck.sentValid = shard, !durable
 		got := comm.RecvProtocol[ckptShard[K]](c, prev, tag)
 		if len(got) != 1 || int(got[0].Desc.Step) != step {
 			panic(fmt.Sprintf("core: checkpoint divergence at rank %d: boundary %d but predecessor %d mirrored %+v", c.Rank(), step, prev, got))
@@ -199,16 +258,27 @@ func (ck *Checkpoint[K]) Boundary(c *comm.Comm, ops keys.Ops[K], cfg Config, ste
 		wipe(sorted)
 		wipe(splitters)
 		wipe(cuts)
+		if part != nil {
+			// The partition run survives on the store, but the crashed
+			// process's cache and open handles do not.
+			part.dropCache()
+		}
 		start := c.Clock().Now()
 		if model != nil {
 			c.Clock().Advance(model.RespawnCost() + model.RestoreCost(int(vbytes)) + model.ScanCost(velems))
 		}
-		if err := ck.restoreFromStableStorage(c, ops, cfg, sorted, splitters, cuts); err != nil {
+		var err error
+		if ck.durable {
+			err = ck.restoreDurable(c, ops, cfg, sorted, part, splitters, cuts)
+		} else {
+			err = ck.restoreFromStableStorage(c, ops, cfg, sorted, splitters, cuts)
+		}
+		if err != nil {
 			return err
 		}
 		d := c.Clock().Now() - start
 		rec.AddRecovery(d)
-		rec.AddFaultSpan("recover", fmt.Sprintf("restored step %d (%d elems)", step, len(ck.sorted)), d)
+		rec.AddFaultSpan("recover", fmt.Sprintf("restored step %d (%d elems)", step, ck.elems), d)
 	}
 	return nil
 }
@@ -292,9 +362,9 @@ func restore[T any](dst *[]T, src []T) {
 }
 
 // bytes is the snapshot's stored volume: the key images plus the cut
-// offsets.
+// offsets.  ck.elems covers both backings (resident slice or sealed run).
 func (ck *Checkpoint[K]) bytes(ops keys.Ops[K]) int {
-	return (len(ck.sorted)+len(ck.splitters))*ops.Bytes() + len(ck.cuts)*8
+	return (int(ck.elems)+len(ck.splitters))*ops.Bytes() + len(ck.cuts)*8
 }
 
 // shardBytes is bytes for a mirrored shard.
@@ -314,33 +384,11 @@ func shardChecksum[K any](ops keys.Ops[K], s ckptShard[K]) uint64 {
 }
 
 func foldChecksum[K any](ops keys.Ops[K], step int, sorted, splitters []K, cuts []int) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	word := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= prime
-		}
-	}
-	word(uint64(step))
-	word(uint64(len(sorted)))
-	word(uint64(len(splitters)))
-	word(uint64(len(cuts)))
+	f := newFold()
+	f.header(step, int64(len(sorted)), len(splitters), len(cuts))
 	for _, k := range sorted {
-		b := ops.ToBits(k)
-		word(b.Hi)
-		word(b.Lo)
+		f.image(ops.ToBits(k))
 	}
-	for _, k := range splitters {
-		b := ops.ToBits(k)
-		word(b.Hi)
-		word(b.Lo)
-	}
-	for _, c := range cuts {
-		word(uint64(int64(c)))
-	}
-	return h
+	f.trailer(imagesOf(ops, splitters), cuts)
+	return f.h
 }

@@ -27,6 +27,7 @@ import (
 
 	"dhsort/internal/comm"
 	"dhsort/internal/metrics"
+	"dhsort/internal/store"
 	"dhsort/internal/xmath"
 )
 
@@ -172,6 +173,36 @@ type Config struct {
 	// speed refinement up but never change its result.
 	Warm []WarmInterval
 
+	// MemBudget caps this rank's resident working set in bytes.  When the
+	// local partition's key volume (len(local) · ops.Bytes()) exceeds the
+	// budget — and the key type round-trips its 128-bit embedding exactly
+	// (keys.Lossless) — the sort runs the external-memory path: local sort
+	// produces budget-sized sorted runs in the out-of-core store, a
+	// loser-tree k-way merge combines them into the rank's sorted partition
+	// run, the search supersteps (Splitting, ComputeCuts) binary-search the
+	// run through a block cache, and exchange buffers land in per-rank
+	// scratch runs instead of growing slices.  Setting any positive budget
+	// also forces the fused 1-factor exchange on every rank (the collective
+	// pattern must be config-consistent even when only some ranks exceed
+	// the budget).  0 disables spilling.  Keys without a lossless embedding
+	// (pairs, strings) stay resident regardless.
+	MemBudget int64
+
+	// SpillDir roots a filesystem store for the spill runs (and, when set,
+	// durable checkpoint shards).  Empty with a nil Store means spills go
+	// to a run-private in-memory store — budget-bounded execution without a
+	// scratch directory, and no durable checkpoints.
+	SpillDir string
+
+	// SpillFanIn is the k of the external k-way merge: how many runs merge
+	// simultaneously per pass.  0 means store.DefaultFanIn.
+	SpillFanIn int
+
+	// Store overrides the spill/checkpoint store directly (it wins over
+	// SpillDir).  Sharing one Store across ranks is what makes checkpoint
+	// shards durable: any survivor can read a victim's shard back.
+	Store store.Store
+
 	// SplitterSink, when non-nil, receives the converged splitter bit
 	// points and the refinement iteration count at the end of the
 	// Splitting superstep.  It is called by every rank of the collective
@@ -229,6 +260,28 @@ func (cfg Config) probes() int {
 	return cfg.Probes
 }
 
+// fanIn returns the effective external-merge fan-in.
+func (cfg Config) fanIn() int {
+	if cfg.SpillFanIn < 2 {
+		return store.DefaultFanIn
+	}
+	return cfg.SpillFanIn
+}
+
+// durableStore returns the shared store durable checkpoints (and shared
+// spill runs) live in, or nil when the configuration names none — a
+// run-private memory store is then used for spills, and checkpoints keep
+// the legacy ring-mirror deep copies.
+func (cfg Config) durableStore() store.Store {
+	if cfg.Store != nil {
+		return cfg.Store
+	}
+	if cfg.SpillDir != "" {
+		return store.NewFS(cfg.SpillDir)
+	}
+	return nil
+}
+
 // maxIters returns the effective iteration bound.
 func (cfg Config) maxIters() int {
 	if cfg.MaxIterations <= 0 {
@@ -256,6 +309,15 @@ func (cfg Config) validate() error {
 	}
 	if cfg.Probes > MaxProbes {
 		return fmt.Errorf("core: Probes must be at most %d, got %d", MaxProbes, cfg.Probes)
+	}
+	if cfg.MemBudget < 0 {
+		return fmt.Errorf("core: MemBudget must be non-negative, got %d", cfg.MemBudget)
+	}
+	if cfg.SpillFanIn < 0 || cfg.SpillFanIn == 1 {
+		return fmt.Errorf("core: SpillFanIn must be 0 (default) or at least 2, got %d", cfg.SpillFanIn)
+	}
+	if cfg.MemBudget > 0 && cfg.Recovery == RecoveryShrink && cfg.durableStore() == nil {
+		return fmt.Errorf("core: MemBudget with shrink recovery needs a shared store (Store or SpillDir) so survivors can adopt durable shards")
 	}
 	switch cfg.Kernel {
 	case "", KernelRadix, KernelTaskMerge, KernelIntrosort:

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dhsort/internal/comm"
 	"dhsort/internal/keys"
 	"dhsort/internal/metrics"
@@ -22,8 +24,15 @@ import (
 // segment [cuts[d], cuts[d+1]) of the locally sorted partition goes to
 // rank d.
 func ComputeCuts[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], splitters []K, targets []int64, cfg Config) []int {
+	return computeCutsOn[K](c, memSource[K]{s: sorted, ops: ops}, ops, splitters, targets, cfg)
+}
+
+// computeCutsOn is ComputeCuts over a sortedSource, shared by the resident
+// and external-memory paths; communication and pricing depend only on
+// element counts, never on the backing.
+func computeCutsOn[K any](c *comm.Comm, src sortedSource[K], ops keys.Ops[K], splitters []K, targets []int64, cfg Config) []int {
 	p := c.Size()
-	n := len(sorted)
+	n := src.Len()
 	model := c.Model()
 	cuts := make([]int, p+1)
 	cuts[p] = n
@@ -40,8 +49,8 @@ func ComputeCuts[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], splitters []K
 	psort.ParallelFor(p-1, workers, func(i int) {
 		d := i + 1
 		s := splitters[d-1]
-		l := int64(sortutil.LowerBound(sorted, s, ops.Less))
-		u := int64(sortutil.UpperBound(sorted, s, ops.Less))
+		l := int64(src.LowerBound(s))
+		u := int64(src.UpperBound(s))
 		sendBounds[d] = []int64{l, u}
 	})
 	if model != nil {
@@ -132,6 +141,26 @@ func ExchangeAndMergeArena[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], cut
 		}
 	}
 	cfg.Recorder.AddExchangedBytes(int64(float64(outBytes) * scale))
+
+	// Budgeted configurations run the fused 1-factor schedule with receive
+	// chunks spilled to store runs, so the exchange buffers never accumulate
+	// beyond one chunk.  The caller holds sorted resident (the external
+	// local-sort path issues the identical wire pattern via its own driver);
+	// the schedule must be uniform across the collective, and spillActive is
+	// a function of the shared Config and Ops only.
+	if spillActive(cfg, ops) {
+		cfg.Recorder.SetExchangeAlg("fused-1factor")
+		plan := newSpillPlan(c, ops, cfg)
+		seg := func(lo, hi int) []K { return sorted[lo:hi] }
+		out, err := spilledExchangeMerge[K](c, seg, ops, sendCounts, cfg, plan)
+		if err != nil {
+			// Store failures here are host I/O faults (disk full, scratch
+			// dir removed), not simulated faults the resilience layer
+			// understands; surface them loudly.
+			panic(fmt.Errorf("core: spilled exchange: %w", err))
+		}
+		return out
+	}
 
 	// The one-sided path subsumes MergeOverlap: its notify-driven merge is
 	// inherently fused, so it takes precedence over the merge strategy.

@@ -159,7 +159,11 @@ func ShrinkRecover[K any](eff *comm.Comm, ck *Checkpoint[K], fe *comm.FailureErr
 		if !ck.adoptable(prev) {
 			return nil, nil, fmt.Errorf("%w: rank %d holds no mirror of dead rank %d", ErrShardLost, eff.Rank(), prev)
 		}
-		adopted = ck.mirror.Sorted
+		var aerr error
+		adopted, aerr = ck.adopt()
+		if aerr != nil {
+			return nil, nil, aerr
+		}
 		rec.AddFaultSpan("recover", fmt.Sprintf("adopted %d mirrored elements of dead rank %d", len(adopted), prev), 0)
 	}
 
@@ -186,6 +190,12 @@ func sortImpl[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config) ([]K,
 
 // sortSteps runs the four supersteps of §V.
 func sortSteps[K any](c *comm.Comm, local []K, ops keys.Ops[K], cfg Config, ck *Checkpoint[K]) ([]K, error) {
+	// Budgeted configurations take the external-memory path collectively:
+	// spillActive depends only on the shared Config and the key type, so
+	// every rank agrees, keeping the fused exchange schedule consistent.
+	if spillActive(cfg, ops) {
+		return sortStepsSpilled[K](c, local, ops, cfg, ck)
+	}
 	p := c.Size()
 	model := c.Model()
 	scale := cfg.scale()

@@ -140,6 +140,14 @@ scan:
 // collapse before the condition holds; such splitters finish at their
 // collapsed point and only global order — not balance — is guaranteed.
 func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []int64, tol int64, cfg Config) ([]K, int) {
+	return findSplittersOn[K](c, memSource[K]{s: sorted, ops: ops}, ops, targets, tol, cfg)
+}
+
+// findSplittersOn is FindSplitters over a sortedSource, so the same
+// refinement loop serves the resident and the external-memory partition.
+// Every collective payload and cost-model call depends only on element
+// counts and probe bounds, never on the backing.
+func findSplittersOn[K any](c *comm.Comm, src sortedSource[K], ops keys.Ops[K], targets []int64, tol int64, cfg Config) ([]K, int) {
 	nsplit := len(targets)
 	if nsplit == 0 {
 		return nil, 0
@@ -149,8 +157,8 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 
 	// Global key extrema: one O(log P) reduction (§V-A).
 	local := minMax{}
-	if len(sorted) > 0 {
-		local = minMax{Has: true, Min: ops.ToBits(sorted[0]), Max: ops.ToBits(sorted[len(sorted)-1])}
+	if mn, mx, ok := src.Extrema(); ok {
+		local = minMax{Has: true, Min: mn, Max: mx}
 	}
 	mm := comm.AllreduceOne(c, local, mergeMinMax)
 	if !mm.Has {
@@ -158,7 +166,7 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 		return make([]K, nsplit), 0
 	}
 
-	totalN := comm.AllreduceOne(c, int64(len(sorted)), func(a, b int64) int64 { return a + b })
+	totalN := comm.AllreduceOne(c, int64(src.Len()), func(a, b int64) int64 { return a + b })
 
 	states := make([]splitterState[K], nsplit)
 	for i := range states {
@@ -209,8 +217,8 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 	search := func(pi int) {
 		m := ops.FromBits(probeBits[pi])
 		curMids[pi] = m
-		curHist[2*pi] = int64(sortutil.LowerBound(sorted, m, ops.Less))
-		curHist[2*pi+1] = int64(sortutil.UpperBound(sorted, m, ops.Less))
+		curHist[2*pi] = int64(src.LowerBound(m))
+		curHist[2*pi+1] = int64(src.UpperBound(m))
 	}
 	addInt64 := func(a, b int64) int64 { return a + b }
 	for iters < cfg.maxIters() {
@@ -242,10 +250,10 @@ func FindSplitters[K any](c *comm.Comm, sorted []K, ops keys.Ops[K], targets []i
 		// search in the locally sorted partition (Alg. 3 line 7).  The
 		// searches are independent reads, so they fork across the thread
 		// budget; the cost model prices every search of the round.
-		workers := searchWorkers(cfg.threads(), np, len(sorted))
+		workers := searchWorkers(cfg.threads(), np, src.Len())
 		psort.ParallelFor(np, workers, search)
 		if model != nil {
-			c.Clock().Advance(model.Threaded(model.SearchCost(len(sorted), 2*np), workers))
+			c.Clock().Advance(model.Threaded(model.SearchCost(src.Len(), 2*np), workers))
 		}
 
 		// Global histogram: one ALLREDUCE over the active probes

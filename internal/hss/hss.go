@@ -25,6 +25,7 @@ import (
 	"dhsort/internal/prng"
 	"dhsort/internal/psort"
 	"dhsort/internal/sortutil"
+	"dhsort/internal/store"
 	"dhsort/internal/xmath"
 )
 
@@ -72,6 +73,20 @@ type Config struct {
 	// iteration cap is hit, so a skewed run can exceed Epsilon — the
 	// rebalance sheds the surplus to neighbors afterwards.
 	Rebalance bool
+	// MemBudget bounds the exchange's resident buffering (see
+	// core.Config.MemBudget): budgeted runs take the fused 1-factor
+	// exchange with received chunks spilled to store runs.  HSS keeps the
+	// local sort resident (sampling needs the keys in memory), so only the
+	// exchange path spills.
+	MemBudget int64
+	// SpillDir roots a filesystem store for spilled exchange runs and
+	// durable checkpoint shards (see core.Config.SpillDir).
+	SpillDir string
+	// SpillFanIn caps the k-way merge fan-in (see core.Config.SpillFanIn).
+	SpillFanIn int
+	// Store overrides SpillDir with an explicit store (see
+	// core.Config.Store).
+	Store store.Store
 	// Recorder receives phase timings and iteration counts.
 	Recorder *metrics.Recorder
 }
@@ -109,6 +124,10 @@ func (cfg Config) coreCfg() core.Config {
 		Threads:      cfg.Threads,
 		Recovery:     cfg.Recovery,
 		Rebalance:    cfg.Rebalance,
+		MemBudget:    cfg.MemBudget,
+		SpillDir:     cfg.SpillDir,
+		SpillFanIn:   cfg.SpillFanIn,
+		Store:        cfg.Store,
 		Recorder:     cfg.Recorder,
 	}
 }

@@ -1,0 +1,24 @@
+package keys
+
+import "testing"
+
+func TestLosslessDispatch(t *testing.T) {
+	if !Lossless[uint64](Uint64{}) || !Lossless[int64](Int64{}) || !Lossless[float64](Float64{}) {
+		t.Fatal("64-bit scalar embeddings must be lossless")
+	}
+	if !Lossless[uint32](Uint32{}) || !Lossless[int32](Int32{}) || !Lossless[float32](Float32{}) {
+		t.Fatal("32-bit scalar embeddings must be lossless")
+	}
+	if !Lossless[Triple[uint64]](NewTripleOps[uint64](Uint64{})) {
+		t.Fatal("triples over lossless scalars must be lossless")
+	}
+	if Lossless[Triple[string]](NewTripleOps[string](String{})) {
+		t.Fatal("triples over string keys must not be lossless")
+	}
+	if Lossless[string](String{}) {
+		t.Fatal("string keys must not be lossless")
+	}
+	if Lossless[Pair[uint64, uint64]](PairOps[uint64, uint64]{Base: Uint64{}}) {
+		t.Fatal("pairs carry satellite data outside the embedding; must not be lossless")
+	}
+}

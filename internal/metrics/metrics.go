@@ -174,6 +174,12 @@ type Recorder struct {
 	RebalanceNS int64
 	// TieBreak records that splitter tie-breaking was active for the run.
 	TieBreak bool
+	// SpilledRuns counts the sorted runs this rank spilled to the
+	// out-of-core store (local-sort chunk runs plus exchange receive runs;
+	// 0 when the run stayed resident).
+	SpilledRuns int64
+	// SpillBytes is the record volume this rank wrote to the store.
+	SpillBytes int64
 	// FaultSpans is the rank's fault-event timeline (capped; see
 	// trace.AddFaultSpan for the overflow rule applied here too).
 	FaultSpans        []trace.FaultSpan
@@ -355,6 +361,15 @@ func (r *Recorder) SetTieBreak() {
 	}
 }
 
+// AddSpill accounts runs sealed into the out-of-core store totalling bytes
+// of record volume.
+func (r *Recorder) AddSpill(runs int, bytes int64) {
+	if r != nil {
+		r.SpilledRuns += int64(runs)
+		r.SpillBytes += bytes
+	}
+}
+
 // AddStall accounts one injected rank stall of duration d.
 func (r *Recorder) AddStall(d time.Duration) {
 	if r != nil {
@@ -443,6 +458,11 @@ type Summary struct {
 	RebalanceNS int64
 	// TieBreak reports whether any rank ran with splitter tie-breaking.
 	TieBreak bool
+	// SpilledRuns is the total run count sealed into the out-of-core store
+	// across ranks (0 when the run stayed resident).
+	SpilledRuns int64
+	// SpillBytes is the total record volume spilled across ranks.
+	SpillBytes int64
 	// FaultEvents counts the fault-event spans recorded across ranks
 	// (including any dropped past the per-rank cap).
 	FaultEvents int64
@@ -511,6 +531,8 @@ func Summarize(recs []*Recorder) Summary {
 		if r.TieBreak {
 			s.TieBreak = true
 		}
+		s.SpilledRuns += r.SpilledRuns
+		s.SpillBytes += r.SpillBytes
 		s.FaultEvents += int64(len(r.FaultSpans) + r.FaultSpansDropped)
 	}
 	if s.Ranks > 0 {

@@ -190,6 +190,14 @@ type Record struct {
 	// TieBreak reports that the run partitioned with duplicate-key splitter
 	// tie-breaking.  OPTIONAL: omitted when false.
 	TieBreak bool `json:"tie_break,omitempty"`
+	// MemBudget / SpilledRuns / SpillBytes account the out-of-core path:
+	// the per-rank resident budget the record ran under and the store runs
+	// it sealed.  OPTIONAL: all omitted for resident records, so
+	// pre-existing documents stay byte-identical (the same additive
+	// pattern as Fault).
+	MemBudget   int64 `json:"mem_budget,omitempty"`
+	SpilledRuns int64 `json:"spilled_runs,omitempty"`
+	SpillBytes  int64 `json:"spill_bytes,omitempty"`
 	// Phases holds the per-superstep breakdown of the first repetition,
 	// keyed by phase name (LocalSort, Histogram, Exchange, Merge, Other).
 	Phases map[string]PhaseStat `json:"phases"`
@@ -271,6 +279,8 @@ func NewRecord(algorithm string, p, perRank int, workload string, makespans []ti
 		RebalanceBytes:  s.RebalanceBytes,
 		RebalanceNS:     s.RebalanceNS,
 		TieBreak:        s.TieBreak,
+		SpilledRuns:     s.SpilledRuns,
+		SpillBytes:      s.SpillBytes,
 		Phases:          phases,
 		Totals: Totals{
 			Links:          linkMap(s.TotalLinks()),

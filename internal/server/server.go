@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,7 @@ type Config struct {
 	BatchWait    time.Duration // linger for stragglers before running a partial batch (2ms)
 	MetricsRing  int           // per-job metrics documents retained (64)
 	WarmCap      int           // cached warm-start splitter sets (64)
+	ScratchDir   string        // root for spilled jobs' per-job run stores (os.TempDir())
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +118,10 @@ type JobStatus struct {
 	// WarmStart marks a job whose splitter refinement was seeded from a
 	// compatible earlier job's converged splitters.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// Spilled marks a job that ran out-of-core; SpilledRuns counts the disk
+	// runs its ranks sealed.
+	Spilled     bool  `json:"spilled,omitempty"`
+	SpilledRuns int64 `json:"spilled_runs,omitempty"`
 	// Verified is the collective IsGloballySorted verdict plus an element
 	// conservation check.
 	Verified bool `json:"verified,omitempty"`
@@ -144,6 +150,7 @@ type job struct {
 	warmStart bool
 	verified  bool
 	survivors int
+	spilled   int64
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -168,6 +175,9 @@ type Metrics struct {
 	RejectedQueueFull int64            `json:"rejected_queue_full"`
 	Batches           int64            `json:"batches"`
 	BatchedJobs       int64            `json:"batched_jobs"`
+	SpilledJobs       int64            `json:"spilled_jobs"`
+	SpilledRuns       int64            `json:"spilled_runs"`
+	SpillBytes        int64            `json:"spill_bytes"`
 	QueueLen          int              `json:"queue_len"`
 	QueueDepth        int              `json:"queue_depth"`
 	Pool              PoolStats        `json:"pool"`
@@ -201,6 +211,9 @@ type Server struct {
 	rejQueue    int64
 	batches     int64
 	batchedJobs int64
+	spilledJobs int64
+	spilledRuns int64
+	spillBytes  int64
 }
 
 // New starts a server with cfg.Workers executor goroutines.  Close releases
@@ -336,6 +349,9 @@ func (s *Server) MetricsSnapshot() Metrics {
 		RejectedQueueFull: s.rejQueue,
 		Batches:           s.batches,
 		BatchedJobs:       s.batchedJobs,
+		SpilledJobs:       s.spilledJobs,
+		SpilledRuns:       s.spilledRuns,
+		SpillBytes:        s.spillBytes,
 		QueueLen:          s.queue.len(),
 		QueueDepth:        s.cfg.QueueDepth,
 		Pool:              s.pool.stats(),
@@ -361,6 +377,8 @@ func (j *job) statusLocked() JobStatus {
 		BatchSize:   j.batchSize,
 		PoolHit:     j.poolHit,
 		WarmStart:   j.warmStart,
+		Spilled:     j.spec.Spill,
+		SpilledRuns: j.spilled,
 		Verified:    j.verified,
 		Survivors:   j.survivors,
 		Error:       j.errMsg,
@@ -413,17 +431,19 @@ func (s *Server) worker() {
 
 // outcome carries one finished job's results to the bookkeeper.
 type outcome struct {
-	output    []uint64
-	alg       string
-	batched   bool
-	batchSize int
-	poolHit   bool
-	warmStart bool
-	verified  bool
-	survivors int
-	makespan  time.Duration
-	doc       metrics.Document
-	hasDoc    bool
+	output      []uint64
+	alg         string
+	batched     bool
+	batchSize   int
+	poolHit     bool
+	warmStart   bool
+	verified    bool
+	survivors   int
+	spilledRuns int64
+	spillBytes  int64
+	makespan    time.Duration
+	doc         metrics.Document
+	hasDoc      bool
 }
 
 func (s *Server) markRunning(batch []*job) {
@@ -448,8 +468,14 @@ func (s *Server) complete(j *job, oc outcome) {
 	j.warmStart = oc.warmStart
 	j.verified = oc.verified
 	j.survivors = oc.survivors
+	j.spilled = oc.spilledRuns
 	j.makespan = oc.makespan
 	s.done++
+	if j.spec.Spill {
+		s.spilledJobs++
+	}
+	s.spilledRuns += oc.spilledRuns
+	s.spillBytes += oc.spillBytes
 	if oc.hasDoc {
 		s.ring = append(s.ring, RingEntry{ID: j.id, Tenant: j.tenant, Doc: oc.doc})
 		if over := len(s.ring) - s.cfg.MetricsRing; over > 0 {
@@ -507,6 +533,21 @@ func workloadName(sp JobSpec) string {
 func (s *Server) runSingle(j *job) {
 	sp := j.spec
 	p := sp.P
+
+	// Spilled jobs get a private scratch directory for their run store:
+	// local sort runs, exchange spill files and durable checkpoint shards
+	// all live under it, and it is reclaimed when the job finishes.
+	var scratch string
+	if sp.Spill {
+		dir, err := os.MkdirTemp(s.cfg.ScratchDir, "dhsort-scratch-")
+		if err != nil {
+			s.failJob(j, false, err)
+			return
+		}
+		scratch = dir
+		defer os.RemoveAll(dir)
+	}
+
 	recs := make([]*metrics.Recorder, p)
 	outs := make([][]uint64, p)
 	verified := make([]bool, p)
@@ -552,6 +593,10 @@ func (s *Server) runSingle(j *job) {
 		rec := metrics.ForComm(c)
 		recs[rank] = rec
 		cfg := sp.config(rec)
+		if sp.Spill {
+			cfg.MemBudget = sp.MemBudget
+			cfg.SpillDir = scratch
+		}
 		if warmOK {
 			cfg.Warm = warmIvs // nil on a cache miss
 			cfg.SplitterSink = sink
@@ -636,8 +681,12 @@ func (s *Server) runSingle(j *job) {
 		}
 	}
 	if len(live) > 0 {
+		summary := metrics.Summarize(live)
+		oc.spilledRuns = summary.SpilledRuns
+		oc.spillBytes = summary.SpillBytes
 		rec := metrics.NewRecord("dhsort", p, workload.LocalSize(sp.n(), p, 0),
-			workloadName(sp), []time.Duration{makespan}, metrics.Summarize(live))
+			workloadName(sp), []time.Duration{makespan}, summary)
+		rec.MemBudget = sp.MemBudget
 		oc.doc = metrics.JobDocument(sp.Model, 16, sp.Seed, sp.Fault, rec)
 		oc.hasDoc = true
 	}

@@ -311,6 +311,7 @@ func TestNormalizeRejectsBadSpecs(t *testing.T) {
 		{"bad-model", JobSpec{N: 5, Model: "nope"}, "bad_request"},
 		{"bad-fault", JobSpec{N: 5, Fault: "nope"}, "bad_request"},
 		{"bad-p", JobSpec{N: 5, P: 9999}, "bad_request"},
+		{"neg-budget", JobSpec{N: 5, MemBudget: -1}, "bad_request"},
 	}
 	for _, tc := range cases {
 		sp := tc.spec
@@ -329,5 +330,82 @@ func TestNormalizeRejectsBadSpecs(t *testing.T) {
 	}
 	if good.Dist != "uniform" || good.Seed != 1 || good.P != s.cfg.P {
 		t.Errorf("defaults not filled: %+v", good)
+	}
+}
+
+// TestSpilledJobNeverBatches pins the batching decision for out-of-core
+// jobs: the batch embedding (batchOps) is not registered lossless, so a
+// shared batch run would silently ignore the mem_budget — spilled jobs
+// must run alone against their own scratch store.  Warm splitter starts
+// stay available: spilling leaves the refinement protocol untouched.
+func TestSpilledJobNeverBatches(t *testing.T) {
+	s := newTestServer(Config{P: 4})
+	defer s.Close()
+
+	spill := JobSpec{N: 512, P: 4, Spill: true}
+	if err := s.normalize(&spill); err != nil {
+		t.Fatal(err)
+	}
+	if spill.MemBudget != 128 {
+		t.Errorf("default mem_budget = %d, want 128 (an eighth of the per-rank input bytes)", spill.MemBudget)
+	}
+	if s.batchEligible(spill) {
+		t.Error("spilled job is batch-eligible; out-of-core jobs must run alone")
+	}
+	budget := JobSpec{N: 512, P: 4, MemBudget: 256}
+	if err := s.normalize(&budget); err != nil {
+		t.Fatal(err)
+	}
+	if !budget.Spill {
+		t.Error("mem_budget alone did not imply spill")
+	}
+	if s.batchEligible(budget) {
+		t.Error("mem_budget job is batch-eligible")
+	}
+	resident := JobSpec{N: 512, P: 4}
+	if err := s.normalize(&resident); err != nil {
+		t.Fatal(err)
+	}
+	if !s.batchEligible(resident) {
+		t.Error("identical resident job lost batch eligibility")
+	}
+	if _, ok := warmKeyOf("t", spill); !ok {
+		t.Error("spilled job lost warm-start eligibility")
+	}
+}
+
+// TestSpilledJobEndToEnd runs the same workload resident and spilled and
+// requires bit-identical output, a populated per-job scratch path, and the
+// spill counters on the metrics snapshot.
+func TestSpilledJobEndToEnd(t *testing.T) {
+	s := newTestServer(Config{P: 4, ScratchDir: t.TempDir()})
+	defer s.Close()
+
+	res := mkJob(t, s, "r-1", JobSpec{N: 4096, Dist: "zipf", Seed: 11, P: 4, Model: "pgas", NoWarm: true})
+	s.runBatch([]*job{res})
+	want, stRes, err := s.Result("r-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stRes.Spilled || stRes.SpilledRuns != 0 {
+		t.Errorf("resident job reported spilling: %+v", stRes)
+	}
+
+	sp := mkJob(t, s, "s-1", JobSpec{N: 4096, Dist: "zipf", Seed: 11, P: 4, Model: "pgas", Spill: true, NoWarm: true})
+	s.runBatch([]*job{sp})
+	got, st, err := s.Result("s-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Verified || !st.Spilled || st.SpilledRuns == 0 {
+		t.Fatalf("spilled status = %+v, want verified with spilled runs", st)
+	}
+	if !equalU64(got, want) {
+		t.Error("spilled output differs from the resident run")
+	}
+	m := s.MetricsSnapshot()
+	if m.SpilledJobs != 1 || m.SpilledRuns != st.SpilledRuns || m.SpillBytes <= 0 {
+		t.Errorf("spill counters = jobs=%d runs=%d bytes=%d, want 1/%d/>0",
+			m.SpilledJobs, m.SpilledRuns, m.SpillBytes, st.SpilledRuns)
 	}
 }

@@ -60,6 +60,13 @@ type JobSpec struct {
 	NoBatch bool `json:"no_batch,omitempty"`
 	// NoWarm opts the job out of the warm-start splitter cache.
 	NoWarm bool `json:"no_warm,omitempty"`
+	// Spill runs the job out-of-core: local sort runs, exchange segments
+	// and checkpoint shards go through a per-job scratch store on disk.
+	Spill bool `json:"spill,omitempty"`
+	// MemBudget is the per-rank in-memory budget in bytes for spilled jobs.
+	// Setting it implies Spill; Spill with a zero budget defaults to one
+	// eighth of the per-rank input (the spill ablation point).
+	MemBudget int64 `json:"mem_budget,omitempty"`
 }
 
 // parseExchange maps the wire name to the facade constant.
@@ -194,6 +201,20 @@ func (s *Server) normalize(sp *JobSpec) error {
 			return badRequest(err.Error())
 		}
 	}
+	if sp.MemBudget < 0 {
+		return badRequest("mem_budget must be non-negative")
+	}
+	if sp.MemBudget > 0 {
+		sp.Spill = true
+	}
+	if sp.Spill && sp.MemBudget == 0 {
+		// One eighth of the per-rank input: per-rank keys × 8 bytes / 8.
+		per := (n + sp.P - 1) / sp.P
+		sp.MemBudget = int64(per)
+		if sp.MemBudget < 16 {
+			sp.MemBudget = 16
+		}
+	}
 	switch sp.Recovery {
 	case "":
 		sp.Recovery = dhsort.RecoveryRespawn
@@ -251,9 +272,14 @@ func batchKeyOf(sp JobSpec) batchKey {
 }
 
 // batchEligible reports whether a normalized spec may join a shared world
-// run: fault-free, small, and not opted out.
+// run: fault-free, small, resident, and not opted out.  Spilled jobs are
+// excluded because the batch embedding (batchOps) is not registered
+// lossless, so a shared run would silently ignore the mem_budget; they run
+// alone against their own scratch store instead.  Warm splitter starts stay
+// available to spilled jobs — the spilled path refines splitters over the
+// identical histogram protocol.
 func (s *Server) batchEligible(sp JobSpec) bool {
-	return !sp.NoBatch && sp.Fault == "" && sp.n() <= s.cfg.BatchMaxKeys
+	return !sp.NoBatch && sp.Fault == "" && !sp.Spill && sp.n() <= s.cfg.BatchMaxKeys
 }
 
 // rankShare returns the [lo, hi) slice bounds of rank r in a contiguous

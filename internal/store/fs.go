@@ -1,0 +1,271 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dhsort/internal/xmath"
+)
+
+// FS is the filesystem Store: one file per run under a root directory, with
+// chunked buffered sequential I/O and a checksummed footer.  An FS value is
+// just the root path — every rank of a collective can hold its own FS over
+// the same directory and observe the same runs, which is what makes
+// checkpoint shards durable across rank deaths.
+type FS struct {
+	root string
+}
+
+// NewFS returns a store rooted at dir.  The directory is created lazily on
+// the first Create.
+func NewFS(dir string) *FS { return &FS{root: dir} }
+
+// Root returns the scratch directory the store writes under.
+func (f *FS) Root() string { return f.root }
+
+// Run file layout: count records of RecordBytes (Lo then Hi, little-endian)
+// followed by a fixed footer.  The footer makes truncation detectable at
+// Open (file size must equal footerBytes + count*RecordBytes) and bit flips
+// detectable at the end of a sequential read (FNV-1a over the data bytes).
+const (
+	fsMagic     = 0x44485331 // "DHS1"
+	footerBytes = 24
+)
+
+// writeBuf is the Writer/Reader buffer size: large enough that run I/O is
+// chunked sequential writes, small enough to stay within any sane budget.
+const writeBuf = 64 << 10
+
+func (f *FS) path(name string) string {
+	return filepath.Join(f.root, filepath.FromSlash(name)+".run")
+}
+
+// Create opens a new run file, truncating any previous run of that name.
+func (f *FS) Create(name string) (Writer, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	p := f.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	file, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &fsWriter{f: file, bw: bufio.NewWriterSize(file, writeBuf), sum: fnvOffset}, nil
+}
+
+// Open validates the run's integrity envelope and returns a sequential
+// reader at record 0.
+func (f *FS) Open(name string) (Reader, error) {
+	file, count, err := f.open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fsReader{
+		f: file, count: count,
+		br:        bufio.NewReaderSize(file, writeBuf),
+		sum:       fnvOffset,
+		hashValid: true,
+	}, nil
+}
+
+// Len returns the record count of a sealed run, validating the envelope.
+func (f *FS) Len(name string) (int64, error) {
+	file, count, err := f.open(name)
+	if err != nil {
+		return 0, err
+	}
+	file.Close()
+	return count, nil
+}
+
+// Remove deletes a run file.
+func (f *FS) Remove(name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	err := os.Remove(f.path(name))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// open opens the run file and audits the footer envelope: magic, record
+// width, and the size/count agreement that catches truncated runs.
+func (f *FS) open(name string) (*os.File, int64, error) {
+	if err := checkName(name); err != nil {
+		return nil, 0, err
+	}
+	file, err := os.Open(f.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	st, err := file.Stat()
+	if err != nil {
+		file.Close()
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	if st.Size() < footerBytes {
+		file.Close()
+		return nil, 0, fmt.Errorf("%w: %q is %d bytes, shorter than the footer", ErrCorrupt, name, st.Size())
+	}
+	var foot [footerBytes]byte
+	if _, err := file.ReadAt(foot[:], st.Size()-footerBytes); err != nil {
+		file.Close()
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(foot[0:4])
+	width := binary.LittleEndian.Uint32(foot[4:8])
+	count := int64(binary.LittleEndian.Uint64(foot[8:16]))
+	if magic != fsMagic || width != RecordBytes {
+		file.Close()
+		return nil, 0, fmt.Errorf("%w: %q has magic %#x width %d", ErrCorrupt, name, magic, width)
+	}
+	if count < 0 || st.Size() != footerBytes+count*RecordBytes {
+		file.Close()
+		return nil, 0, fmt.Errorf("%w: %q holds %d bytes for %d records (truncated?)", ErrCorrupt, name, st.Size(), count)
+	}
+	if _, err := file.Seek(0, io.SeekStart); err != nil {
+		file.Close()
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	return file, count, nil
+}
+
+// FNV-1a, folded incrementally over the record bytes.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvFold(sum uint64, b []byte) uint64 {
+	for _, v := range b {
+		sum ^= uint64(v)
+		sum *= fnvPrime
+	}
+	return sum
+}
+
+type fsWriter struct {
+	f      *os.File
+	bw     *bufio.Writer
+	count  int64
+	sum    uint64
+	closed bool
+}
+
+func (w *fsWriter) Append(recs []xmath.U128) error {
+	if w.closed {
+		return fmt.Errorf("store: append to closed run")
+	}
+	var buf [RecordBytes]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(buf[0:8], r.Lo)
+		binary.LittleEndian.PutUint64(buf[8:16], r.Hi)
+		if _, err := w.bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		w.sum = fnvFold(w.sum, buf[:])
+	}
+	w.count += int64(len(recs))
+	return nil
+}
+
+func (w *fsWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var foot [footerBytes]byte
+	binary.LittleEndian.PutUint32(foot[0:4], fsMagic)
+	binary.LittleEndian.PutUint32(foot[4:8], RecordBytes)
+	binary.LittleEndian.PutUint64(foot[8:16], uint64(w.count))
+	binary.LittleEndian.PutUint64(foot[16:24], w.sum)
+	if _, err := w.bw.Write(foot[:]); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+type fsReader struct {
+	f     *os.File
+	br    *bufio.Reader
+	count int64
+	pos   int64
+
+	// sum accumulates FNV-1a while the read stays strictly sequential from
+	// record 0; the footer's checksum is audited as the last record is
+	// delivered.  Seek waives the audit for that pass.
+	sum       uint64
+	hashValid bool
+}
+
+func (r *fsReader) Read(dst []xmath.U128) (int, error) {
+	if r.pos >= r.count {
+		return 0, io.EOF
+	}
+	n := int64(len(dst))
+	if rem := r.count - r.pos; n > rem {
+		n = rem
+	}
+	var buf [RecordBytes]byte
+	for i := int64(0); i < n; i++ {
+		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+			return int(i), fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if r.hashValid {
+			r.sum = fnvFold(r.sum, buf[:])
+		}
+		dst[i] = xmath.U128{
+			Lo: binary.LittleEndian.Uint64(buf[0:8]),
+			Hi: binary.LittleEndian.Uint64(buf[8:16]),
+		}
+	}
+	r.pos += n
+	if r.pos == r.count && r.hashValid {
+		var foot [footerBytes]byte
+		if _, err := io.ReadFull(r.br, foot[:]); err != nil {
+			return int(n), fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if want := binary.LittleEndian.Uint64(foot[16:24]); want != r.sum {
+			return int(n), fmt.Errorf("%w: data checksum %#x, footer says %#x", ErrCorrupt, r.sum, want)
+		}
+	}
+	return int(n), nil
+}
+
+func (r *fsReader) SeekRecord(rec int64) error {
+	if rec < 0 || rec > r.count {
+		return fmt.Errorf("store: seek to record %d of %d", rec, r.count)
+	}
+	if rec == r.pos {
+		return nil
+	}
+	if _, err := r.f.Seek(rec*RecordBytes, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	r.br.Reset(r.f)
+	r.pos = rec
+	r.hashValid = false
+	return nil
+}
+
+func (r *fsReader) Close() error { return r.f.Close() }

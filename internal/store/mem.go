@@ -1,0 +1,111 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dhsort/internal/xmath"
+)
+
+// Mem is the in-memory Store: sealed runs live in a map, shared by every
+// rank of the collective that holds the same *Mem.  It backs budget-bounded
+// execution without a scratch directory and is the memory side of the chaos
+// oracle's storage axis.
+type Mem struct {
+	mu   sync.Mutex
+	runs map[string][]xmath.U128
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{runs: make(map[string][]xmath.U128)}
+}
+
+// Create opens a new in-memory run.
+func (m *Mem) Create(name string) (Writer, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	return &memWriter{m: m, name: name}, nil
+}
+
+// Open returns a reader over a sealed run.
+func (m *Mem) Open(name string) (Reader, error) {
+	m.mu.Lock()
+	recs, ok := m.runs[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return &memReader{recs: recs}, nil
+}
+
+// Len returns a sealed run's record count.
+func (m *Mem) Len(name string) (int64, error) {
+	m.mu.Lock()
+	recs, ok := m.runs[name]
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return int64(len(recs)), nil
+}
+
+// Remove deletes a sealed run.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	delete(m.runs, name)
+	m.mu.Unlock()
+	return nil
+}
+
+type memWriter struct {
+	m      *Mem
+	name   string
+	recs   []xmath.U128
+	closed bool
+}
+
+func (w *memWriter) Append(recs []xmath.U128) error {
+	if w.closed {
+		return fmt.Errorf("store: append to closed run %q", w.name)
+	}
+	w.recs = append(w.recs, recs...)
+	return nil
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.m.mu.Lock()
+	w.m.runs[w.name] = w.recs
+	w.m.mu.Unlock()
+	return nil
+}
+
+type memReader struct {
+	recs []xmath.U128
+	pos  int64
+}
+
+func (r *memReader) Read(dst []xmath.U128) (int, error) {
+	if r.pos >= int64(len(r.recs)) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.recs[r.pos:])
+	r.pos += int64(n)
+	return n, nil
+}
+
+func (r *memReader) SeekRecord(rec int64) error {
+	if rec < 0 || rec > int64(len(r.recs)) {
+		return fmt.Errorf("store: seek to record %d of %d", rec, len(r.recs))
+	}
+	r.pos = rec
+	return nil
+}
+
+func (r *memReader) Close() error { return nil }

@@ -1,0 +1,406 @@
+package store
+
+import (
+	"fmt"
+	"io"
+
+	"dhsort/internal/xmath"
+)
+
+// Span addresses a sorted record range [Lo, Hi) of a sealed run — the unit
+// the external merge consumes.  A whole run is Span{Name, 0, Len(Name)}; a
+// sub-range lets the exchange treat one segment of the sorted partition run
+// as its own input without copying it.
+type Span struct {
+	Name   string
+	Lo, Hi int64
+}
+
+// Len returns the span's record count.
+func (s Span) Len() int64 { return s.Hi - s.Lo }
+
+// DefaultFanIn is the merge fan-in when the caller does not set one: the
+// number of runs merged simultaneously in one pass.  Spilling a working set
+// at 1/8 of memory produces 8 local-sort runs, so the default completes the
+// common case in a single pass while keeping open-stream state small.
+const DefaultFanIn = 8
+
+// Merger streams the ascending k-way merge of sorted spans through a loser
+// tree — the tournament merge of the Local Merge superstep (§V-C), lifted
+// to disk-resident runs.  When the span count exceeds the fan-in, NewMerger
+// first collapses groups of fanIn spans into intermediate runs (multi-pass
+// external merging) until one pass suffices, so at most fanIn streams are
+// ever open at once.  Records compare as unsigned 128-bit key images, with
+// the input span order breaking ties — deterministic, and content-identical
+// to any in-memory merge of the same runs because equal images decode to
+// indistinguishable keys.
+type Merger struct {
+	st      Store
+	streams []*spanStream
+	tree    []int // tree[0] is the winner; inner nodes park losers (-1 = empty)
+	temps   []string
+	total   int64
+}
+
+// NewMerger builds the merge of spans with the given fan-in (values < 2 take
+// DefaultFanIn).  tmpPrefix names the intermediate runs of multi-pass
+// merging (tmpPrefix + ".m<gen>"); callers running concurrently must use
+// distinct prefixes.  Close releases the open streams and removes the
+// intermediates.
+func NewMerger(st Store, spans []Span, fanIn int, tmpPrefix string) (*Merger, error) {
+	if fanIn < 2 {
+		fanIn = DefaultFanIn
+	}
+	live := make([]Span, 0, len(spans))
+	for _, s := range spans {
+		if s.Len() > 0 {
+			live = append(live, s)
+		}
+	}
+	// Multi-pass reduction: collapse groups of fanIn spans into intermediate
+	// runs until one pass covers the rest.  Every record passes through at
+	// most ceil(log_fanIn(len(spans))) intermediates.
+	var temps []string
+	gen := 0
+	for len(live) > fanIn {
+		var next []Span
+		for lo := 0; lo < len(live); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(live) {
+				hi = len(live)
+			}
+			if hi-lo == 1 {
+				next = append(next, live[lo])
+				continue
+			}
+			tmp := fmt.Sprintf("%s.m%d", tmpPrefix, gen)
+			gen++
+			n, err := mergeTo(st, live[lo:hi], tmp)
+			if err != nil {
+				removeAll(st, temps)
+				return nil, err
+			}
+			temps = append(temps, tmp)
+			next = append(next, Span{Name: tmp, Lo: 0, Hi: n})
+		}
+		live = next
+	}
+	m, err := newSinglePass(st, live)
+	if err != nil {
+		removeAll(st, temps)
+		return nil, err
+	}
+	m.temps = temps
+	return m, nil
+}
+
+// MergePlanStats reports the multi-pass reduction NewMerger would perform
+// for the given span lengths and fan-in without running it: the number of
+// intermediate runs written and the records passing through them.  Callers
+// use it to account scratch traffic and price the extra passes — the plan
+// is a pure function of the lengths, so the accounting is deterministic and
+// backing-independent.
+func MergePlanStats(lens []int64, fanIn int) (runs int, records int64) {
+	if fanIn < 2 {
+		fanIn = DefaultFanIn
+	}
+	var live []int64
+	for _, n := range lens {
+		if n > 0 {
+			live = append(live, n)
+		}
+	}
+	for len(live) > fanIn {
+		var next []int64
+		for lo := 0; lo < len(live); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(live) {
+				hi = len(live)
+			}
+			if hi-lo == 1 {
+				next = append(next, live[lo])
+				continue
+			}
+			var sum int64
+			for _, n := range live[lo:hi] {
+				sum += n
+			}
+			runs++
+			records += sum
+			next = append(next, sum)
+		}
+		live = next
+	}
+	return runs, records
+}
+
+// newSinglePass opens one stream per span and plays the initial tournament;
+// the caller guarantees the span count fits one pass.
+func newSinglePass(st Store, spans []Span) (*Merger, error) {
+	m := &Merger{st: st}
+	for _, s := range spans {
+		if s.Len() == 0 {
+			continue
+		}
+		str, err := newSpanStream(st, s)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.streams = append(m.streams, str)
+		m.total += s.Len()
+	}
+	k := len(m.streams)
+	if k > 0 {
+		m.tree = make([]int, k)
+		for i := range m.tree {
+			m.tree[i] = -1
+		}
+		for w := k - 1; w >= 0; w-- {
+			m.replay(w)
+		}
+	}
+	return m, nil
+}
+
+// Total returns the record count the merge will deliver.
+func (m *Merger) Total() int64 { return m.total }
+
+// Next returns the next record of the ascending merge; ok is false once the
+// merge is drained.
+func (m *Merger) Next() (xmath.U128, bool, error) {
+	if len(m.streams) == 0 {
+		return xmath.U128{}, false, nil
+	}
+	w := m.tree[0]
+	s := m.streams[w]
+	if s.done {
+		return xmath.U128{}, false, nil
+	}
+	rec := s.cur
+	if err := s.advance(); err != nil {
+		return xmath.U128{}, false, err
+	}
+	m.replay(w)
+	return rec, true, nil
+}
+
+// Close releases every open stream and removes the intermediate runs.
+func (m *Merger) Close() error {
+	var first error
+	for _, s := range m.streams {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.streams = nil
+	first = firstErr(first, removeAll(m.st, m.temps))
+	m.temps = nil
+	return first
+}
+
+// beats reports whether stream a wins against stream b: the smaller current
+// record, the lower stream index breaking ties; drained streams always lose.
+func (m *Merger) beats(a, b int) bool {
+	sa, sb := m.streams[a], m.streams[b]
+	switch {
+	case sa.done:
+		return false
+	case sb.done:
+		return true
+	}
+	if c := sa.cur.Cmp(sb.cur); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// replay re-runs stream w's leaf-to-root path: each inner node keeps the
+// loser of the match played there and sends the winner up; tree[0] ends as
+// the overall winner.  During the initial tournament an empty node (-1)
+// parks the first arrival from its subtree and waits for the second, so
+// every node plays exactly one match per build — the classic loser-tree
+// construction, valid for any stream count.
+func (m *Merger) replay(w int) {
+	k := len(m.streams)
+	for node := (k + w) / 2; node > 0; node /= 2 {
+		if m.tree[node] == -1 {
+			m.tree[node] = w
+			return
+		}
+		if m.beats(m.tree[node], w) {
+			m.tree[node], w = w, m.tree[node]
+		}
+	}
+	m.tree[0] = w
+}
+
+// mergeTo merges spans (at most one pass's worth) into a new sealed run and
+// returns its record count.
+func mergeTo(st Store, spans []Span, out string) (int64, error) {
+	sub, err := newSinglePass(st, spans)
+	if err != nil {
+		return 0, err
+	}
+	defer sub.Close()
+	w, err := st.Create(out)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	buf := make([]xmath.U128, 0, streamBuf)
+	for {
+		rec, ok, err := sub.Next()
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, rec)
+		n++
+		if len(buf) == cap(buf) {
+			if err := w.Append(buf); err != nil {
+				w.Close()
+				return 0, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := w.Append(buf); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	return n, w.Close()
+}
+
+// MergeSpans merges sorted spans into the sealed run out with the given
+// fan-in and returns its record count.
+func MergeSpans(st Store, spans []Span, out string, fanIn int) (int64, error) {
+	m, err := NewMerger(st, spans, fanIn, out+".tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	w, err := st.Create(out)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	buf := make([]xmath.U128, 0, streamBuf)
+	for {
+		rec, ok, err := m.Next()
+		if err != nil {
+			w.Close()
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, rec)
+		n++
+		if len(buf) == cap(buf) {
+			if err := w.Append(buf); err != nil {
+				w.Close()
+				return 0, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := w.Append(buf); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	return n, w.Close()
+}
+
+func removeAll(st Store, names []string) error {
+	var first error
+	for _, n := range names {
+		first = firstErr(first, st.Remove(n))
+	}
+	return first
+}
+
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// spanStream is one leaf of the loser tree: a buffered sequential cursor
+// over a span.
+type spanStream struct {
+	span Span
+	rdr  Reader
+	buf  []xmath.U128
+	idx  int
+	fill int
+	left int64
+	cur  xmath.U128
+	done bool
+}
+
+// streamBuf is the per-stream read batch: fanIn * streamBuf records bound
+// the merge's resident working set.
+const streamBuf = 4096
+
+func newSpanStream(st Store, s Span) (*spanStream, error) {
+	rdr, err := st.Open(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	if s.Lo > 0 {
+		if err := rdr.SeekRecord(s.Lo); err != nil {
+			rdr.Close()
+			return nil, err
+		}
+	}
+	str := &spanStream{span: s, rdr: rdr, buf: make([]xmath.U128, streamBuf), left: s.Len()}
+	if err := str.advance(); err != nil {
+		rdr.Close()
+		return nil, err
+	}
+	return str, nil
+}
+
+func (s *spanStream) advance() error {
+	if s.idx >= s.fill {
+		if s.left == 0 {
+			s.done = true
+			return nil
+		}
+		want := int64(len(s.buf))
+		if want > s.left {
+			want = s.left
+		}
+		n, err := s.rdr.Read(s.buf[:want])
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if int64(n) < want {
+			return fmt.Errorf("%w: span %q[%d:%d) ended %d records early",
+				ErrCorrupt, s.span.Name, s.span.Lo, s.span.Hi, s.left-int64(n))
+		}
+		s.idx, s.fill = 0, n
+		s.left -= int64(n)
+	}
+	s.cur = s.buf[s.idx]
+	s.idx++
+	return nil
+}
+
+func (s *spanStream) close() error {
+	if s.rdr == nil {
+		return nil
+	}
+	err := s.rdr.Close()
+	s.rdr = nil
+	return err
+}

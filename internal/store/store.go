@@ -1,0 +1,90 @@
+// Package store is the out-of-core storage plane: named, ordered runs of
+// fixed-width key records behind a small Store interface with in-memory and
+// filesystem implementations — the DistribArray shape (a named array of
+// ordered partitions with interchangeable memory/filesystem backings)
+// adapted to the sort's needs.
+//
+// A run is an immutable, ordered sequence of 16-byte records: the
+// order-preserving 128-bit key images of keys.Ops.ToBits.  Because the
+// embedding is an order isomorphism, the store can search and merge runs
+// without knowing the key type — two records compare as unsigned 128-bit
+// integers, and equal images decode to indistinguishable keys, which is what
+// makes the external merge bit-identical to the in-memory one.
+//
+// Runs are write-once: Create a Writer, Append records in order, Close to
+// seal.  The filesystem backing writes chunked buffered files with a
+// checksummed footer (magic, record width, count, FNV-1a over the data
+// bytes); truncation is detected when a run is opened, bit flips when a
+// sequential read drains it.  The memory backing holds the same runs in a
+// map, so the two backings are interchangeable — the chaos oracle's storage
+// axis asserts bit-identical sort output and virtual makespan across them.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dhsort/internal/xmath"
+)
+
+// RecordBytes is the wire width of one run record: a 128-bit key image.
+const RecordBytes = 16
+
+// ErrCorrupt marks a run whose stored bytes cannot be trusted: a size that
+// disagrees with the footer's record count (truncation), a bad magic or
+// record width, or an FNV checksum mismatch at the end of a sequential read.
+var ErrCorrupt = errors.New("store: run corrupt")
+
+// ErrNotFound marks a run name with no sealed run behind it.
+var ErrNotFound = errors.New("store: run not found")
+
+// Store is a flat namespace of sealed runs.  Implementations must be safe
+// for concurrent use by multiple ranks as long as distinct ranks use
+// distinct run names (the sort's naming convention keys every run by world
+// rank); concurrent readers of one sealed run are always safe.
+type Store interface {
+	// Create opens a new run for writing, truncating any sealed run of the
+	// same name.  The run is invisible to Open/Len until the Writer is
+	// closed.
+	Create(name string) (Writer, error)
+	// Open returns a sequential reader positioned at record 0.  Opening
+	// validates the run's integrity envelope (footer, truncation).
+	Open(name string) (Reader, error)
+	// Len returns the record count of a sealed run.
+	Len(name string) (int64, error)
+	// Remove deletes a sealed run; removing a missing run is not an error.
+	Remove(name string) error
+}
+
+// Writer appends records to an open run.  Append keeps input order; Close
+// seals the run (filesystem backing: flushes buffers and writes the
+// checksummed footer).
+type Writer interface {
+	Append(recs []xmath.U128) error
+	Close() error
+}
+
+// Reader reads records from a sealed run.  Read fills dst and returns the
+// count read; it returns io.EOF once the run is drained.  A reader that has
+// consumed the whole run strictly sequentially from record 0 verifies the
+// data checksum as the last record is delivered and surfaces ErrCorrupt on
+// a mismatch; Seek repositions the reader and (filesystem backing) waives
+// the checksum for that pass, since a ranged read cannot re-derive the
+// whole-run hash.
+type Reader interface {
+	Read(dst []xmath.U128) (int, error)
+	SeekRecord(rec int64) error
+	Close() error
+}
+
+// checkName rejects run names that could escape a filesystem root.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty run name")
+	}
+	if strings.HasPrefix(name, "/") || strings.Contains(name, "..") {
+		return fmt.Errorf("store: invalid run name %q", name)
+	}
+	return nil
+}

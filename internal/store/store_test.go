@@ -1,0 +1,498 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"dhsort/internal/xmath"
+)
+
+func backings(t *testing.T) map[string]Store {
+	t.Helper()
+	return map[string]Store{
+		"mem": NewMem(),
+		"fs":  NewFS(t.TempDir()),
+	}
+}
+
+func u(hi, lo uint64) xmath.U128 { return xmath.U128{Hi: hi, Lo: lo} }
+
+func writeRun(t *testing.T, st Store, name string, recs []xmath.U128) {
+	t.Helper()
+	w, err := st.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", name, err)
+	}
+	// Append in two chunks to exercise multi-append sealing.
+	half := len(recs) / 2
+	if err := w.Append(recs[:half]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Append(recs[half:]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func readRun(t *testing.T, st Store, name string) []xmath.U128 {
+	t.Helper()
+	r, err := st.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	defer r.Close()
+	var out []xmath.U128
+	buf := make([]xmath.U128, 7) // odd size to exercise partial batches
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Read(%q): %v", name, err)
+		}
+	}
+}
+
+func genRecs(n int, seed int64) []xmath.U128 {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]xmath.U128, n)
+	for i := range recs {
+		recs[i] = u(rng.Uint64()>>32, rng.Uint64())
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	for label, st := range backings(t) {
+		t.Run(label, func(t *testing.T) {
+			recs := genRecs(10007, 1)
+			writeRun(t, st, "part/rt", recs)
+			got := readRun(t, st, "part/rt")
+			if len(got) != len(recs) {
+				t.Fatalf("round trip: %d records, want %d", len(got), len(recs))
+			}
+			for i := range recs {
+				if got[i] != recs[i] {
+					t.Fatalf("record %d: got %v want %v", i, got[i], recs[i])
+				}
+			}
+			n, err := st.Len("part/rt")
+			if err != nil || n != int64(len(recs)) {
+				t.Fatalf("Len = %d, %v; want %d", n, err, len(recs))
+			}
+		})
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	for label, st := range backings(t) {
+		t.Run(label, func(t *testing.T) {
+			w, err := st.Create("empty")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := st.Len("empty"); err != nil || n != 0 {
+				t.Fatalf("Len = %d, %v; want 0, nil", n, err)
+			}
+			if got := readRun(t, st, "empty"); len(got) != 0 {
+				t.Fatalf("read %d records from empty run", len(got))
+			}
+		})
+	}
+}
+
+func TestNotFoundAndInvisibleUntilSealed(t *testing.T) {
+	for label, st := range backings(t) {
+		t.Run(label, func(t *testing.T) {
+			if _, err := st.Open("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Open(missing) = %v, want ErrNotFound", err)
+			}
+			if _, err := st.Len("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Len(missing) = %v, want ErrNotFound", err)
+			}
+			w, err := st.Create("pending")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Append([]xmath.U128{u(0, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			if label == "mem" {
+				// The memory backing keeps unsealed runs fully invisible.
+				if _, err := st.Open("pending"); !errors.Is(err, ErrNotFound) {
+					t.Fatalf("Open before seal = %v, want ErrNotFound", err)
+				}
+			} else {
+				// The filesystem backing has no footer yet: corrupt, not sealed.
+				if _, err := st.Open("pending"); !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("Open before seal = %v, want ErrCorrupt", err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Open("pending"); err != nil {
+				t.Fatalf("Open after seal: %v", err)
+			}
+			if err := st.Remove("pending"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Open("pending"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Open after Remove = %v, want ErrNotFound", err)
+			}
+			// Removing a missing run is not an error.
+			if err := st.Remove("pending"); err != nil {
+				t.Fatalf("double Remove: %v", err)
+			}
+		})
+	}
+}
+
+func TestSeekRangedRead(t *testing.T) {
+	for label, st := range backings(t) {
+		t.Run(label, func(t *testing.T) {
+			recs := genRecs(5000, 2)
+			writeRun(t, st, "seek", recs)
+			r, err := st.Open("seek")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if err := r.SeekRecord(4321); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]xmath.U128, 100)
+			n, err := r.Read(buf)
+			if err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if n != 100 {
+				t.Fatalf("ranged read got %d records, want 100", n)
+			}
+			for i := 0; i < n; i++ {
+				if buf[i] != recs[4321+i] {
+					t.Fatalf("record %d after seek: got %v want %v", i, buf[i], recs[4321+i])
+				}
+			}
+			// Seek backwards and re-read from 0.
+			if err := r.SeekRecord(0); err != nil {
+				t.Fatal(err)
+			}
+			n, _ = r.Read(buf[:3])
+			if n != 3 || buf[0] != recs[0] {
+				t.Fatalf("re-read from 0: n=%d first=%v want %v", n, buf[0], recs[0])
+			}
+			if err := r.SeekRecord(int64(len(recs)) + 1); err == nil {
+				t.Fatal("Seek past end succeeded")
+			}
+		})
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	st := NewFS(t.TempDir())
+	for _, name := range []string{"", "/abs", "a/../escape", ".."} {
+		if _, err := st.Create(name); err == nil {
+			t.Errorf("Create(%q) succeeded", name)
+		}
+	}
+}
+
+func TestFSTruncationDetectedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	st := NewFS(dir)
+	writeRun(t, st, "trunc", genRecs(1000, 3))
+	p := filepath.Join(dir, "trunc.run")
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, fi.Size()-RecordBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Open("trunc"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open(truncated) = %v, want ErrCorrupt", err)
+	}
+	if _, err := st.Len("trunc"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Len(truncated) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFSBitFlipDetectedAtReadEnd(t *testing.T) {
+	dir := t.TempDir()
+	st := NewFS(dir)
+	writeRun(t, st, "flip", genRecs(1000, 4))
+	p := filepath.Join(dir, "flip.run")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[500*RecordBytes+7] ^= 0x10 // flip one bit mid-data
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The envelope (size/count) still agrees, so Open succeeds...
+	r, err := st.Open("flip")
+	if err != nil {
+		t.Fatalf("Open(bit-flipped) = %v, want success (flip is caught at read end)", err)
+	}
+	defer r.Close()
+	// ...but draining the run sequentially must surface the checksum mismatch.
+	buf := make([]xmath.U128, 64)
+	for {
+		_, err := r.Read(buf)
+		if err == io.EOF {
+			t.Fatal("drained bit-flipped run without ErrCorrupt")
+		}
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Read = %v, want ErrCorrupt", err)
+			}
+			return
+		}
+	}
+}
+
+func TestFSBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	st := NewFS(dir)
+	writeRun(t, st, "magic", genRecs(10, 5))
+	p := filepath.Join(dir, "magic.run")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[len(raw)-footerBytes:], 0xdeadbeef)
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Open("magic"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open(bad magic) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCreateTruncatesPriorRun(t *testing.T) {
+	for label, st := range backings(t) {
+		t.Run(label, func(t *testing.T) {
+			writeRun(t, st, "re", genRecs(100, 6))
+			next := genRecs(10, 7)
+			writeRun(t, st, "re", next)
+			got := readRun(t, st, "re")
+			if len(got) != len(next) {
+				t.Fatalf("after rewrite: %d records, want %d", len(got), len(next))
+			}
+		})
+	}
+}
+
+// sortedRecs returns n sorted records with duplicates (about n/4 distinct).
+func sortedRecs(n int, seed int64) []xmath.U128 {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]xmath.U128, n)
+	for i := range recs {
+		recs[i] = u(uint64(rng.Intn(n/4+1)), uint64(rng.Intn(8)))
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Less(recs[j]) })
+	return recs
+}
+
+func TestMergeSpans(t *testing.T) {
+	for label, st := range backings(t) {
+		t.Run(label, func(t *testing.T) {
+			for _, tc := range []struct {
+				runs, per, fanIn int
+			}{
+				{1, 500, 8},     // single run: pass-through
+				{3, 1000, 8},    // one pass
+				{8, 700, 8},     // exactly fan-in
+				{9, 300, 8},     // one reduction round
+				{20, 400, 2},    // binary fan-in, multiple reduction rounds
+				{13, 1, 3},      // single-record runs
+				{5, 0, 4},       // all empty
+				{16, 12345, 16}, // wide single pass
+			} {
+				name := fmt.Sprintf("r%dx%df%d", tc.runs, tc.per, tc.fanIn)
+				var spans []Span
+				var all []xmath.U128
+				for i := 0; i < tc.runs; i++ {
+					recs := sortedRecs(tc.per, int64(100*i+tc.per))
+					writeRun(t, st, fmt.Sprintf("%s/in%d", name, i), recs)
+					spans = append(spans, Span{Name: fmt.Sprintf("%s/in%d", name, i), Lo: 0, Hi: int64(len(recs))})
+					all = append(all, recs...)
+				}
+				sort.SliceStable(all, func(i, j int) bool { return all[i].Less(all[j]) })
+				n, err := MergeSpans(st, spans, name+"/out", tc.fanIn)
+				if err != nil {
+					t.Fatalf("%s: MergeSpans: %v", name, err)
+				}
+				if n != int64(len(all)) {
+					t.Fatalf("%s: merged %d records, want %d", name, n, len(all))
+				}
+				got := readRun(t, st, name+"/out")
+				for i := range all {
+					if got[i] != all[i] {
+						t.Fatalf("%s: record %d: got %v want %v", name, i, got[i], all[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMergerSubSpansAndDeterminism(t *testing.T) {
+	st := NewMem()
+	base := sortedRecs(4000, 42)
+	writeRun(t, st, "big", base)
+	// Merge three overlapping sub-spans of one run plus a whole second run.
+	other := sortedRecs(777, 43)
+	writeRun(t, st, "other", other)
+	spans := []Span{
+		{Name: "big", Lo: 0, Hi: 1500},
+		{Name: "big", Lo: 1500, Hi: 1500}, // empty, dropped
+		{Name: "big", Lo: 1500, Hi: 4000},
+		{Name: "other", Lo: 0, Hi: int64(len(other))},
+	}
+	want := append(append([]xmath.U128{}, base...), other...)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].Less(want[j]) })
+
+	drain := func() []xmath.U128 {
+		m, err := NewMerger(st, spans, 0, "tmp/det")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if m.Total() != int64(len(want)) {
+			t.Fatalf("Total = %d, want %d", m.Total(), len(want))
+		}
+		var out []xmath.U128
+		for {
+			rec, ok, err := m.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			out = append(out, rec)
+		}
+		return out
+	}
+	a, b := drain(), drain()
+	if len(a) != len(want) || len(b) != len(want) {
+		t.Fatalf("drained %d/%d records, want %d", len(a), len(b), len(want))
+	}
+	for i := range want {
+		if a[i] != want[i] || b[i] != a[i] {
+			t.Fatalf("record %d: a=%v b=%v want=%v", i, a[i], b[i], want[i])
+		}
+	}
+}
+
+func TestMergerCleansTemps(t *testing.T) {
+	dir := t.TempDir()
+	st := NewFS(dir)
+	var spans []Span
+	for i := 0; i < 9; i++ { // forces one reduction round at fanIn 2
+		recs := sortedRecs(50, int64(i))
+		name := fmt.Sprintf("in%d", i)
+		writeRun(t, st, name, recs)
+		spans = append(spans, Span{Name: name, Lo: 0, Hi: int64(len(recs))})
+	}
+	if _, err := MergeSpans(st, spans, "out", 2); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if len(e.Name()) > 4 && e.Name()[:4] == "out." && e.Name() != "out.run" {
+			t.Fatalf("temp run %q survived MergeSpans", e.Name())
+		}
+	}
+}
+
+// MergePlanStats must predict exactly the reduction NewMerger performs:
+// the intermediate-run count and the records flowing through them, for
+// single-pass and multi-pass shapes alike.
+func TestMergePlanStats(t *testing.T) {
+	cases := []struct {
+		lens    []int64
+		fanIn   int
+		runs    int
+		records int64
+	}{
+		{nil, 2, 0, 0},
+		{[]int64{10, 20}, 2, 0, 0},                    // fits one pass
+		{[]int64{10, 20, 30}, 4, 0, 0},                // fits one pass
+		{[]int64{1, 2, 3}, 2, 1, 3},                   // {1,2}→3, then {3,3} final
+		{[]int64{1, 1, 1, 1, 1}, 2, 3, 8},             // 5→[2,2,1] (2 temps, 4 recs) →[4,1] (1 temp, 4 recs)
+		{[]int64{5, 0, 5, 0, 5}, 2, 1, 10},            // zero-length spans drop out
+		{[]int64{1, 1, 1, 1, 1, 1, 1, 1, 1}, 0, 1, 8}, // fanIn<2 takes DefaultFanIn=8
+	}
+	for _, c := range cases {
+		runs, records := MergePlanStats(c.lens, c.fanIn)
+		if runs != c.runs || records != c.records {
+			t.Errorf("MergePlanStats(%v, %d) = (%d, %d), want (%d, %d)",
+				c.lens, c.fanIn, runs, records, c.runs, c.records)
+		}
+	}
+
+	// Against the real Merger: 9 runs at fan-in 2 — the plan's intermediate
+	// count must match the temps NewMerger actually writes.
+	st := NewMem()
+	var spans []Span
+	var lens []int64
+	for i := 0; i < 9; i++ {
+		recs := sortedRecs(50, int64(100+i))
+		name := fmt.Sprintf("pl%d", i)
+		writeRun(t, st, name, recs)
+		spans = append(spans, Span{Name: name, Lo: 0, Hi: int64(len(recs))})
+		lens = append(lens, int64(len(recs)))
+	}
+	m, err := NewMerger(st, spans, 2, "plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	runs, records := MergePlanStats(lens, 2)
+	if runs != len(m.temps) {
+		t.Errorf("MergePlanStats predicts %d intermediate runs, Merger wrote %d", runs, len(m.temps))
+	}
+	var tempRecs int64
+	for _, tmp := range m.temps {
+		n, err := st.Len(tmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tempRecs += n
+	}
+	if records != tempRecs {
+		t.Errorf("MergePlanStats predicts %d intermediate records, Merger wrote %d", records, tempRecs)
+	}
+}
+
+func TestMergeDetectsEarlyEOF(t *testing.T) {
+	st := NewMem()
+	recs := sortedRecs(100, 9)
+	writeRun(t, st, "short", recs)
+	// Span claims more records than the run holds.
+	_, err := MergeSpans(st, []Span{{Name: "short", Lo: 0, Hi: 200}}, "out", 4)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("MergeSpans(over-long span) = %v, want ErrCorrupt", err)
+	}
+}
