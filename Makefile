@@ -1,6 +1,6 @@
 # Developer entry points; `make ci` is the gate CI and pre-push runs.
 
-.PHONY: ci test race chaos chaos-repro serve serve-smoke bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew bench-split bench-ooc
+.PHONY: ci test race chaos chaos-repro serve serve-smoke elastic-smoke bench-smoke bench-json bench-compare bench-exchange bench-local bench-fault bench-shrink bench-skew bench-split bench-ooc bench-elastic
 
 # Chaos tier defaults; override per invocation, e.g.
 #   make chaos SEED=12345 COUNT=256
@@ -16,7 +16,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/server ./internal/api
+	go test -race ./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/store ./internal/server ./internal/api ./internal/chaos
 
 # Run the sort service locally (see cmd/dhsortd for the API and flags):
 #   make serve ADDR=:8080
@@ -28,6 +28,12 @@ serve:
 # dhsort client, verify the streamed result (also part of the CI gate).
 serve-smoke:
 	./ci.sh serve
+
+# Elasticity smoke: boot dhsortd with the autoscaler on hot thresholds,
+# flood it until the target grows, let it idle until the target shrinks —
+# both asserted from /v1/metrics.
+elastic-smoke:
+	./ci.sh elastic
 
 # Tier-2 chaos oracle: a seeded corpus of composed skew x fault x recovery x
 # backend scenarios.  Failures print the exact repro command.
@@ -91,3 +97,9 @@ bench-split:
 # against the fully resident baseline.
 bench-ooc:
 	go run ./cmd/bench -exp ooc
+
+# Elasticity ablation: two back-to-back streams, static low/high
+# provisioning vs a mid-stream grow — the makespan cost of joining ranks
+# against the cost of over- or under-provisioning.
+bench-elastic:
+	go run ./cmd/bench -exp elastic

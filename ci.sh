@@ -18,9 +18,11 @@ set -eu
 # fault-injection plane (adjudicated on sender goroutines, deduplicated on
 # receiver goroutines), the algorithms that drive them, the out-of-core store
 # (one shared run store appended and merged by every rank of a spilled
-# collective), and the sort service (pooled persistent worlds shared across
-# concurrent HTTP-driven jobs).
-RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/store ./internal/server ./internal/api"
+# collective), the sort service (pooled persistent worlds shared across
+# concurrent HTTP-driven jobs, now grown and shrunk in place by the
+# autoscaler), and the chaos harness (grow collectives racing seeded
+# message faults).
+RACE_PKGS="./internal/comm ./internal/rma ./internal/psort ./internal/sortutil ./internal/core ./internal/hss ./internal/fault ./internal/store ./internal/server ./internal/api ./internal/chaos"
 
 echo "== gofmt"
 fmt_out=$(gofmt -l .)
@@ -141,6 +143,75 @@ if [ "${1:-}" = "serve" ]; then
     trap - EXIT
     rm -rf "$tmp"
     echo "== serve smoke OK"
+fi
+
+if [ "${1:-}" = "elastic" ]; then
+    # Elasticity smoke: dhsortd with the autoscaler on hot thresholds.  A
+    # flood of queued jobs must grow the default world size (and reshape the
+    # warm pool in place); a subsequent idle stretch must shrink it back.
+    # Both transitions are asserted from the public /v1/metrics counters.
+    echo "== elastic smoke (autoscaler grow under flood, shrink when idle)"
+    tmp=$(mktemp -d)
+    trap 'kill $srv_pid 2>/dev/null || true; rm -rf "$tmp"' EXIT
+    go build -o "$tmp/" ./cmd/dhsort ./cmd/dhsortd
+    "$tmp/dhsortd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -p 4 -workers 1 \
+        -queue 64 -quota-rate 1000 -quota-burst 1000 \
+        -autoscale -autoscale-max-p 8 -autoscale-step 4 \
+        -grow-queue 1 -sustain 2 -scale-interval 50ms \
+        -idle-ttl 1s -cooldown 200ms \
+        > "$tmp/dhsortd.log" 2>&1 &
+    srv_pid=$!
+    for i in 1 2 3 4 5 6 7 8 9 10; do
+        [ -s "$tmp/addr" ] && break
+        sleep 0.3
+    done
+    [ -s "$tmp/addr" ] || { echo "dhsortd never wrote its address" >&2; cat "$tmp/dhsortd.log" >&2; exit 1; }
+    DHSORT_SERVER="http://$(cat "$tmp/addr" | tr -d '\n')"
+    export DHSORT_SERVER
+
+    # Flood: enough concurrent queued work that the sampler sees sustained
+    # pressure.  The retrying client rides out any transient queue_full
+    # rejections.
+    sub_pids=""
+    for i in $(seq 1 24); do
+        "$tmp/dhsort" submit -tenant ci -n 400000 -dist zipf -seed "$i" \
+            -retries 5 > /dev/null &
+        sub_pids="$sub_pids $!"
+    done
+    wait $sub_pids
+    grew=""
+    for i in $(seq 1 100); do
+        if "$tmp/dhsort" stats | grep -Eq '"grows": [1-9]'; then grew=1; break; fi
+        sleep 0.2
+    done
+    [ -n "$grew" ] || { echo "elastic smoke: no grow under flood" >&2; "$tmp/dhsort" stats >&2; exit 1; }
+
+    # Idle: wait out the queue, then the idle TTL; the target must return
+    # to the floor.
+    shrank=""
+    for i in $(seq 1 300); do
+        if "$tmp/dhsort" stats | grep -Eq '"shrinks": [1-9]'; then shrank=1; break; fi
+        sleep 0.2
+    done
+    [ -n "$shrank" ] || { echo "elastic smoke: no shrink when idle" >&2; "$tmp/dhsort" stats >&2; exit 1; }
+    "$tmp/dhsort" stats | grep -q '"target_p": 4' || { echo "elastic smoke: target did not return to the floor" >&2; "$tmp/dhsort" stats >&2; exit 1; }
+
+    # Graceful drain: with a job still in flight, SIGTERM flips health to
+    # draining, submissions bounce typed, and the server finishes the
+    # admitted work before exiting inside its drain budget.
+    "$tmp/dhsort" submit -tenant ci -n 4000000 -dist zipf > /dev/null
+    kill -TERM $srv_pid
+    sleep 0.2
+    "$tmp/dhsort" health | grep -q draining || { echo "elastic smoke: no draining health state" >&2; exit 1; }
+    if "$tmp/dhsort" submit -tenant ci -n 1000 > /dev/null 2> "$tmp/drain.log"; then
+        echo "elastic smoke: submission accepted while draining" >&2; exit 1
+    fi
+    grep -q draining "$tmp/drain.log" || { echo "elastic smoke: drain rejection untyped" >&2; cat "$tmp/drain.log" >&2; exit 1; }
+    wait $srv_pid 2>/dev/null || true
+    grep -q 'drained, shutting down' "$tmp/dhsortd.log" || { echo "elastic smoke: drain did not complete cleanly" >&2; cat "$tmp/dhsortd.log" >&2; exit 1; }
+    trap - EXIT
+    rm -rf "$tmp"
+    echo "== elastic smoke OK"
 fi
 
 if [ "${1:-}" = "chaos" ]; then

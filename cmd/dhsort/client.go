@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -94,6 +95,8 @@ func clientSubmit(args []string) int {
 		keysF  = fs.String("keys-file", "", "inline keys, one decimal per line (\"-\" = stdin)")
 		wait   = fs.Bool("wait", false, "poll until the job finishes; exit nonzero unless done and verified")
 		tmo    = fs.Duration("timeout", 5*time.Minute, "poll deadline with -wait")
+		retry  = fs.Int("retries", 0, "resubmit attempts after a retryable rejection (429 queue_full/quota_exceeded, 503 draining); 0 = fail immediately")
+		maxBk  = fs.Duration("max-wait", 30*time.Second, "cap on a single retry backoff")
 	)
 	fs.Parse(args)
 
@@ -116,22 +119,40 @@ func clientSubmit(args []string) int {
 	if err != nil {
 		return fail(err)
 	}
-	req, err := http.NewRequest("POST", *srv+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return fail(err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if *tenant != "" {
-		req.Header.Set("X-Tenant", *tenant)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return fail(err)
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", *srv+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return fail(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if *tenant != "" {
+			req.Header.Set("X-Tenant", *tenant)
+		}
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			return fail(err)
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		// 429 (queue_full / quota_exceeded) and 503 (draining) are
+		// backpressure, not failure: back off and resubmit, preferring the
+		// server's own Retry-After over the exponential schedule.
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		rerr := decodeErr(resp)
+		ra := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if !retryable || attempt >= *retry {
+			return fail(rerr)
+		}
+		d := submitBackoff(attempt, ra, *maxBk)
+		fmt.Fprintf(os.Stderr, "dhsort: %v; retry %d/%d in %v\n",
+			rerr, attempt+1, *retry, d.Round(time.Millisecond))
+		time.Sleep(d)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return fail(decodeErr(resp))
-	}
 	var st server.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return fail(err)
@@ -169,6 +190,28 @@ func clientSubmit(args []string) int {
 		fmt.Fprintf(os.Stderr, "dhsort: job %s still %s after %v\n", st.ID, st.State, *tmo)
 		return 1
 	}
+}
+
+// submitBackoff computes one retry delay: the server's Retry-After when it
+// sent one, otherwise exponential from 200ms — either way capped at max and
+// spread with ±25% jitter so a herd of rejected clients desynchronizes
+// instead of hammering the queue in lockstep.
+func submitBackoff(attempt int, retryAfter string, max time.Duration) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // the shift below would overflow
+	}
+	d := 200 * time.Millisecond << uint(attempt)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > max {
+		d = max
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
 }
 
 func readKeys(path string) ([]uint64, error) {

@@ -1,13 +1,18 @@
 // Command dhsortd serves the distributed histogram sort as a multi-tenant
 // job service: a JSON HTTP API over a bounded admission queue, per-tenant
 // token-bucket quotas, and a pool of warm persistent worlds that are reused
-// — and shared, via job batching — across jobs.
+// — and shared, via job batching — across jobs.  With -autoscale the
+// default world size follows load: sustained queue pressure grows pooled
+// worlds in place (rank join + grow collective), idleness shrinks them back.
 //
 //	dhsortd -addr :8080 -p 8 -workers 2
+//	dhsortd -autoscale -autoscale-max-p 16 -idle-ttl 1m
 //	dhsort submit -server http://127.0.0.1:8080 -n 100000 -wait
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/result,
-// GET /v1/metrics, GET /healthz.
+// GET /v1/metrics, GET /healthz.  On SIGTERM the server drains: new
+// submissions get 503 + Retry-After while admitted work finishes, bounded
+// by -drain-timeout.
 package main
 
 import (
@@ -43,6 +48,18 @@ func main() {
 		batchW   = flag.Duration("batch-wait", 2*time.Millisecond, "linger for batch stragglers")
 		ring     = flag.Int("metrics-ring", 64, "per-job metrics documents retained on /v1/metrics")
 		scratch  = flag.String("scratch", "", "root directory for spilled jobs' per-job run stores (empty = system temp dir)")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain: how long to let admitted jobs finish before exiting")
+
+		autoscale = flag.Bool("autoscale", false, "scale the default world size with load (grow/shrink pooled worlds in place)")
+		asMinP    = flag.Int("autoscale-min-p", 0, "autoscaler floor (0 = -p)")
+		asMaxP    = flag.Int("autoscale-max-p", 0, "autoscaler ceiling (0 = twice the floor, capped at -max-p)")
+		asStep    = flag.Int("autoscale-step", 4, "ranks joined/removed per scale action")
+		asQueue   = flag.Int("grow-queue", 2, "queued jobs counted as admission pressure")
+		asImb     = flag.Float64("grow-imbalance", 1.5, "time-imbalance factor counted as pressure")
+		asSustain = flag.Int("sustain", 3, "consecutive pressured samples before a grow")
+		asIdle    = flag.Duration("idle-ttl", 30*time.Second, "continuous idle before a shrink")
+		asCool    = flag.Duration("cooldown", 10*time.Second, "minimum spacing between scale actions")
+		asInt     = flag.Duration("scale-interval", 500*time.Millisecond, "autoscaler sampling period")
 	)
 	flag.Parse()
 
@@ -51,6 +68,11 @@ func main() {
 		PoolIdle: *poolIdle, QuotaRate: *qRate, QuotaBurst: *qBurst,
 		MaxN: *maxN, BatchMaxKeys: *batchKey, BatchMax: *batchMax,
 		BatchWait: *batchW, MetricsRing: *ring, ScratchDir: *scratch,
+		Autoscale: server.AutoscaleConfig{
+			Enabled: *autoscale, MinP: *asMinP, MaxP: *asMaxP, Step: *asStep,
+			GrowQueue: *asQueue, GrowImbalance: *asImb, Sustain: *asSustain,
+			IdleTTL: *asIdle, Cooldown: *asCool, Interval: *asInt,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -62,7 +84,7 @@ func main() {
 			log.Fatalf("dhsortd: write -addr-file: %v", err)
 		}
 	}
-	log.Printf("dhsortd: serving on %s (p=%d workers=%d queue=%d)", ln.Addr(), *p, *workers, *queue)
+	log.Printf("dhsortd: serving on %s (p=%d workers=%d queue=%d autoscale=%v)", ln.Addr(), *p, *workers, *queue, *autoscale)
 
 	httpSrv := &http.Server{Handler: api.Handler(eng)}
 	errc := make(chan error, 1)
@@ -72,11 +94,20 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("dhsortd: %v, shutting down", sig)
+		log.Printf("dhsortd: %v, draining (timeout %v)", sig, *drainT)
 	case err := <-errc:
 		log.Fatalf("dhsortd: %v", err)
 	}
 
+	// Graceful drain: stop admitting (submissions now get 503 +
+	// Retry-After) but keep serving status/result polls while queued and
+	// in-flight jobs run to completion, bounded by -drain-timeout.
+	eng.Drain()
+	if eng.Quiesce(*drainT) {
+		log.Printf("dhsortd: drained, shutting down")
+	} else {
+		log.Printf("dhsortd: drain timeout after %v, abandoning queued work", *drainT)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

@@ -283,6 +283,27 @@ func NewPersistentWorld(p int, model *CostModel) (*PersistentWorld, error) {
 	return comm.NewPersistentWorld(p, model)
 }
 
+// Spawned tracks rank goroutines admitted into a running world by
+// World.Spawn; Wait joins their outcomes.
+type Spawned = comm.Spawned
+
+// AwaitGrow is the joiner's half of the grow collective: a rank spawned
+// into a running world blocks on the sponsor's join ticket (sponsor is a
+// world rank), builds the grown communicator from it, and synchronizes at
+// the join barrier.  The incumbents' half is Comm.Grow; see internal/comm.
+func AwaitGrow(c *Comm, sponsor int) *Comm {
+	return comm.AwaitGrow(c, sponsor)
+}
+
+// GrowRebalance re-partitions sorted per-rank output onto a grown
+// communicator: incumbents pass their partitions, joiners empty slices, and
+// every rank receives its balanced share of the same global order —
+// order-preserving diffusion over adjacent boundaries, priced on the
+// virtual clock.  Collective on the communicator Grow/AwaitGrow returned.
+func GrowRebalance[K any](c *Comm, out []K, ops keys.Ops[K], cfg Config) []K {
+	return core.GrowRebalance(c, out, ops, cfg)
+}
+
 // RunTimed is Run, additionally returning the execution makespan: the
 // maximum per-rank virtual completion time under a cost model, or the
 // slowest rank's wall-clock time without one.

@@ -43,6 +43,12 @@ func Handler(s *server.Server) http.Handler {
 		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// A draining instance stays live (it is finishing admitted work)
+		// but reports the state so balancers stop routing submissions at it.
+		if s.Draining() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux

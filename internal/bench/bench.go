@@ -98,6 +98,7 @@ var Experiments = []Experiment{
 	{"fault", "extension — resilience degradation under seeded fault schedules (drop rate × crashes)", FaultStudy},
 	{"shrink", "extension — graceful degradation: crash-respawn vs die-shrink recovery", ShrinkStudy},
 	{"ooc", "extension — out-of-core spill: merge fan-in ablation under a 1/8 memory budget", OOCStudy},
+	{"elastic", "extension — elastic worlds: mid-stream grow vs static provisioning", ElasticStudy},
 }
 
 // Find returns the experiment with the given name.

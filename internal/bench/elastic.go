@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/core"
+	"dhsort/internal/keys"
+	"dhsort/internal/simnet"
+	"dhsort/internal/stats"
+	"dhsort/internal/workload"
+)
+
+// elasticRun sorts two consecutive streams of total keys each and returns
+// the world makespan.  With grow == 0 both streams run at p ranks; with
+// grow > 0 the world admits that many joiner ranks between the streams —
+// spawn, grow collective, rebalance of the first stream's order onto the
+// joiners — so the second stream runs at p+grow.  Every rank verifies the
+// sorted-output invariant on the communicator its result lives on.
+func elasticRun(p, grow, total int, model *simnet.CostModel, spec workload.Spec, threads int) (time.Duration, error) {
+	w, err := comm.NewWorld(p, model)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.Config{Threads: threads}
+	spec2 := spec
+	spec2.Seed = spec.Seed + 7777777
+
+	sortStream := func(c *comm.Comm, sp workload.Spec, width int) ([]uint64, error) {
+		local, err := sp.Rank(c.Rank(), workload.LocalSize(total, width, c.Rank()))
+		if err != nil {
+			return nil, err
+		}
+		out, err := core.Sort(c, local, keys.Uint64{}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !core.IsGloballySorted(c, out, keys.Uint64{}) {
+			return nil, fmt.Errorf("rank %d: stream not globally sorted", c.Rank())
+		}
+		return out, nil
+	}
+
+	var (
+		mu      sync.Mutex
+		spawned *comm.Spawned
+	)
+	joiners := make([]int, grow)
+	for i := range joiners {
+		joiners[i] = p + i
+	}
+	joinFn := func(jc *comm.Comm) error {
+		nc := comm.AwaitGrow(jc, 0)
+		core.GrowRebalance(nc, nil, keys.Uint64{}, cfg)
+		_, err := sortStream(nc, spec2, p+grow)
+		return err
+	}
+	err = w.Run(func(c *comm.Comm) error {
+		out, err := sortStream(c, spec, p)
+		if err != nil {
+			return err
+		}
+		if grow == 0 {
+			_, err := sortStream(c, spec2, p)
+			return err
+		}
+		if c.Rank() == 0 {
+			s, serr := w.Spawn(grow, joinFn)
+			if serr != nil {
+				return serr
+			}
+			mu.Lock()
+			spawned = s
+			mu.Unlock()
+		}
+		nc := c.Grow(joiners)
+		core.GrowRebalance(nc, out, keys.Uint64{}, cfg)
+		_, err = sortStream(nc, spec2, p+grow)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if spawned != nil {
+		if werr := spawned.Wait(); werr != nil {
+			return 0, fmt.Errorf("joiners: %w", werr)
+		}
+	}
+	return w.Makespan(), nil
+}
+
+// ElasticStudy is an EXTENSION, not a paper figure: the autoscaler's
+// makespan-vs-static-P ablation.  Two back-to-back streams model a load
+// step: a world provisioned at the low watermark sorts both (cheap, slow
+// second stream), a world provisioned at the high watermark sorts both
+// (fast, pays for idle capacity the whole time), and the elastic world
+// grows between the streams — paying the rank-join, grow-collective and
+// rebalance cost once to run the second stream at full width.
+func ElasticStudy(o Options) error {
+	p, step, perRank := 8, 4, 4096
+	if o.Full {
+		p, step, perRank = 16, 8, 16384
+	}
+	total := p * perRank
+	model := simnet.SuperMUC(suiteRanksPerNode, true)
+	spec := workload.Spec{Dist: workload.Uniform, Seed: o.Seed, Span: 1e9}
+
+	rows := []struct {
+		label   string
+		p, grow int
+	}{
+		{fmt.Sprintf("static p=%d", p), p, 0},
+		{fmt.Sprintf("static p=%d", p+step), p + step, 0},
+		{fmt.Sprintf("grow %d->%d mid-stream", p, p+step), p, step},
+	}
+
+	fmt.Fprintf(o.Out, "elastic worlds — two %d-key streams, uniform (modelled SuperMUC time; extension, no paper figure)\n", total)
+	fmt.Fprintf(o.Out, "%-24s %7s %12s %12s\n", "provisioning", "ranks", "makespan", "vs static-hi")
+
+	var hi time.Duration
+	for _, r := range rows {
+		runs := make([]time.Duration, 0, o.reps())
+		for rep := 0; rep < o.reps(); rep++ {
+			sp := spec
+			sp.Seed = spec.Seed + uint64(rep)*1000003
+			mk, err := elasticRun(r.p, r.grow, total, model, sp, o.threads())
+			if err != nil {
+				return fmt.Errorf("%s: %w", r.label, err)
+			}
+			runs = append(runs, mk)
+		}
+		m := stats.Summarize(runs)
+		if r.p == p+step && r.grow == 0 {
+			hi = m.Median
+		}
+		overhead := "—"
+		if hi > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", 100*(float64(m.Median)/float64(hi)-1))
+		}
+		fmt.Fprintf(o.Out, "%-24s %7d %12v %12s\n",
+			r.label, r.p+r.grow, m.Median.Round(time.Microsecond), overhead)
+	}
+	return nil
+}

@@ -97,6 +97,17 @@ type Scenario struct {
 	MemBudget int64
 	// SpillFanIn is the external k-way merge fan-in (0 = store default).
 	SpillFanIn int
+	// GrowRanks, when positive, exercises the elasticity plane: after the
+	// sort completes, the world spawns this many joiner ranks, the Grow
+	// collective folds them in, and GrowRebalance re-partitions the sorted
+	// output onto the grown communicator — the oracle then demands exact
+	// front-loaded balanced shares across ALL ranks, joiners included.
+	GrowRanks int
+	// GrowDie composes grow with death: the first joiner dies mid-join, so
+	// every participant must unwind typed and the incumbents must recover
+	// through Revoke/Agree/Shrink on the old communicator, keeping their
+	// original sorted partitions intact.
+	GrowDie bool
 	// Plan is the seeded fault schedule (zero = fault-free).
 	Plan fault.Plan
 }
@@ -140,6 +151,12 @@ func (s Scenario) String() string {
 		extra += fmt.Sprintf(" spill=%dB", s.MemBudget)
 		if s.SpillFanIn > 0 {
 			extra += fmt.Sprintf(" fan-in=%d", s.SpillFanIn)
+		}
+	}
+	if s.GrowRanks > 0 {
+		extra += fmt.Sprintf(" grow=+%d", s.GrowRanks)
+		if s.GrowDie {
+			extra += " grow-die"
 		}
 	}
 	return fmt.Sprintf("#%d %s p=%d n=%d t=%d %s eps=%.2f %s%s%s",
@@ -253,6 +270,22 @@ func Generate(seed uint64, index int) Scenario {
 		sc.MemBudget = int64(sc.PerRank) * []int64{1, 2}[pick(2)]
 		sc.SpillFanIn = []int{0, 2, 4}[pick(3)]
 	}
+	// Elasticity axis on roughly a fifth of the crash/death-free corpus:
+	// grow the sorted world by 2 or 4 joiners and rebalance onto them.
+	// Crash/death plans are excluded — their recovery replays inside the
+	// sort would race the post-sort grow choreography, and the grow x die
+	// composition has its own dedicated sub-axis: when the plan already
+	// carries (deterministic, seeded) message faults — which arm the fault
+	// plane's death detection — a third of the grow scenarios kill the
+	// first joiner mid-join instead.  Drawn last so every earlier corpus,
+	// including the pinned 64-scenario CI set, keeps its compositions.
+	if len(plan.Crashes) == 0 && len(plan.Deaths) == 0 && chance(20) {
+		sc.GrowRanks = []int{2, 4}[pick(2)]
+		msgFaults := plan.DropRate > 0 || plan.DupRate > 0 || plan.DelayRate > 0 || plan.ReorderRate > 0
+		if msgFaults && chance(33) {
+			sc.GrowDie = true
+		}
+	}
 	return sc
 }
 
@@ -296,18 +329,23 @@ func Run(sc Scenario) Result {
 		return res
 	}
 	res.Makespan = a.makespan
-	res.Digest = digest(a)
+	res.Digest = digest(sc, a)
 	res.Failures = append(res.Failures, verify(sc, a)...)
 
 	// Replay determinism: schedule replay must be bit-identical.  A fresh
 	// store each time — a run must not depend on leftovers of the last.
+	// Grow-die scenarios exempt the makespan (the digest already excludes
+	// it for them): which barrier round each participant unwinds at depends
+	// on whether the dead-rank flag or a peer's revocation reaches it
+	// first, so the RECOVERY's virtual cost is discovery-order dependent —
+	// the outputs, computed before the failed grow, are still bit-pinned.
 	b, err := execute(sc, scenarioStore(sc))
 	switch {
 	case err != nil:
 		res.Failures = append(res.Failures, fmt.Sprintf("replay error: %v", err))
-	case digest(b) != res.Digest:
-		res.Failures = append(res.Failures, fmt.Sprintf("replay diverged: output digest %x != %x", digest(b), res.Digest))
-	case b.makespan != a.makespan:
+	case digest(sc, b) != res.Digest:
+		res.Failures = append(res.Failures, fmt.Sprintf("replay diverged: output digest %x != %x", digest(sc, b), res.Digest))
+	case !sc.GrowDie && b.makespan != a.makespan:
 		res.Failures = append(res.Failures, fmt.Sprintf("replay diverged: makespan %v != %v", b.makespan, a.makespan))
 	}
 
@@ -327,9 +365,9 @@ func Run(sc Scenario) Result {
 		switch {
 		case err != nil:
 			res.Failures = append(res.Failures, fmt.Sprintf("fs-backed run error: %v", err))
-		case digest(c) != res.Digest:
-			res.Failures = append(res.Failures, fmt.Sprintf("storage backing changed the output: fs digest %x != mem %x", digest(c), res.Digest))
-		case c.makespan != a.makespan:
+		case digest(sc, c) != res.Digest:
+			res.Failures = append(res.Failures, fmt.Sprintf("storage backing changed the output: fs digest %x != mem %x", digest(sc, c), res.Digest))
+		case !sc.GrowDie && c.makespan != a.makespan:
 			res.Failures = append(res.Failures, fmt.Sprintf("storage backing leaked into the schedule: fs makespan %v != mem %v", c.makespan, a.makespan))
 		}
 	}
@@ -363,9 +401,10 @@ func execute(sc Scenario, st store.Store) (execution, error) {
 		return execution{}, err
 	}
 	spec := sc.spec()
-	outs := make([][]uint64, sc.P)
+	outs := make([][]uint64, sc.P+sc.GrowRanks)
 	recs := make([]*metrics.Recorder, sc.P)
 	var mu sync.Mutex
+	var spawned *comm.Spawned
 	err = w.Run(func(c *comm.Comm) error {
 		local, err := spec.Rank(c.Rank(), sc.PerRank)
 		if err != nil {
@@ -417,20 +456,91 @@ func execute(sc Scenario, st store.Store) (execution, error) {
 		if !core.IsGloballySorted(eff, out, keys.Uint64{}) {
 			return fmt.Errorf("%s: collective sortedness check failed", sc.Algorithm)
 		}
-		mu.Lock()
-		outs[world] = out
-		mu.Unlock()
-		return nil
+		if sc.GrowRanks == 0 {
+			mu.Lock()
+			outs[world] = out
+			mu.Unlock()
+			return nil
+		}
+		return growPhase(sc, w, c, rec, out, outs, &mu, &spawned)
 	})
 	if err != nil {
 		return execution{}, err
 	}
+	if spawned != nil {
+		if werr := spawned.Wait(); werr != nil {
+			return execution{}, fmt.Errorf("joiners: %w", werr)
+		}
+	}
 	return execution{outs: outs, makespan: w.Makespan(), summary: metrics.Summarize(recs)}, nil
 }
 
+// growPhase is the elasticity half of a grow scenario, entered by every
+// incumbent after its sort completed: spawn the joiners (rank 0 only), fold
+// them in with the Grow collective, and rebalance the sorted output onto
+// the grown communicator.  Under GrowDie the first joiner dies mid-join; the
+// incumbents must then unwind typed, recover on the old communicator via
+// Revoke/Agree/Shrink, and keep their original partitions — an elasticity
+// failure may cost the grow, never sorted data.
+func growPhase(sc Scenario, w *comm.World, c *comm.Comm, rec *metrics.Recorder,
+	out []uint64, outs [][]uint64, mu *sync.Mutex, spawned **comm.Spawned) error {
+	joiners := make([]int, sc.GrowRanks)
+	for i := range joiners {
+		joiners[i] = sc.P + i
+	}
+	if c.Rank() == 0 {
+		s2, serr := w.Spawn(sc.GrowRanks, func(jc *comm.Comm) error {
+			if sc.GrowDie && jc.Rank() == sc.P {
+				jc.Die() // never returns
+			}
+			jerr := comm.Try(func() {
+				nc := comm.AwaitGrow(jc, 0)
+				part := core.GrowRebalance(nc, nil, keys.Uint64{}, core.Config{})
+				mu.Lock()
+				outs[nc.WorldRank()] = part
+				mu.Unlock()
+			})
+			if sc.GrowDie {
+				return nil // the surviving joiners' typed unwind is the expected outcome
+			}
+			return jerr
+		})
+		if serr != nil {
+			return serr
+		}
+		mu.Lock()
+		*spawned = s2
+		mu.Unlock()
+	}
+	gerr := comm.Try(func() {
+		nc := c.Grow(joiners)
+		part := core.GrowRebalance(nc, out, keys.Uint64{}, core.Config{Recorder: rec})
+		mu.Lock()
+		outs[nc.WorldRank()] = part
+		mu.Unlock()
+	})
+	if gerr == nil {
+		return nil
+	}
+	if !sc.GrowDie {
+		return gerr
+	}
+	// The standard recovery recipe on the old, still-valid communicator:
+	// every incumbent survived, so the shrink is an identity re-rank.
+	c.Revoke()
+	alive, _ := c.Agree(nil)
+	c.Shrink(alive)
+	mu.Lock()
+	outs[c.WorldRank()] = out
+	mu.Unlock()
+	return nil
+}
+
 // digest fingerprints an execution: every output element in world-rank
-// order with rank separators, plus the virtual makespan.
-func digest(e execution) uint64 {
+// order with rank separators, plus the virtual makespan — except for
+// grow-die scenarios, whose recovery makespan is discovery-order dependent
+// (see Run) and therefore excluded from the fingerprint.
+func digest(sc Scenario, e execution) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v uint64) {
@@ -445,7 +555,9 @@ func digest(e execution) uint64 {
 			put(v)
 		}
 	}
-	put(uint64(e.makespan))
+	if !sc.GrowDie {
+		put(uint64(e.makespan))
+	}
 	return h.Sum64()
 }
 
@@ -484,20 +596,52 @@ func verify(sc Scenario, e execution) []string {
 		}
 	}
 
+	// Elastic scenarios replace the partition-shape gate below:
+	//   - a successful grow rebalanced the output at zero tolerance, so
+	//     every rank of the GROWN world — joiners included — must hold its
+	//     exact front-loaded share of the total;
+	//   - a failed grow (grow-die) must leave the incumbents' original
+	//     partitions untouched and strand nothing on the joiners.
+	if sc.GrowRanks > 0 {
+		if sc.GrowDie {
+			for r := sc.P; r < len(e.outs); r++ {
+				if len(e.outs[r]) != 0 {
+					fails = append(fails, fmt.Sprintf("grow-die: joiner world rank %d stranded %d elements", r, len(e.outs[r])))
+				}
+			}
+			// The incumbents' shapes fall through to the ordinary gate.
+		} else {
+			peff := sc.P + sc.GrowRanks
+			total := sc.P * sc.PerRank
+			for r, out := range e.outs {
+				want := total / peff
+				if r < total%peff {
+					want++
+				}
+				if len(out) != want {
+					fails = append(fails, fmt.Sprintf("grow: rank %d holds %d, want the balanced share %d of a %d-way cut", r, len(out), want, peff))
+					break
+				}
+			}
+			return fails
+		}
+	}
+
 	// Imbalance: death scenarios redistribute capacity by design (the
 	// survivors adopt the victims' shards), so only deathless runs are
 	// gated.  ε = 0 demands the perfect partition — every surviving rank
 	// ends with exactly its input capacity; ε > 0 allows the Definition 1
 	// bound, or a recorded rebalance that restored it.
 	if len(sc.Plan.Deaths) == 0 {
+		incumbents := e.outs[:sc.P]
 		maxOut := 0
-		for _, out := range e.outs {
+		for _, out := range incumbents {
 			if len(out) > maxOut {
 				maxOut = len(out)
 			}
 		}
 		if sc.Epsilon == 0 {
-			for r, out := range e.outs {
+			for r, out := range incumbents {
 				if len(out) != sc.PerRank {
 					fails = append(fails, fmt.Sprintf("imbalance: eps=0 but rank %d holds %d != %d", r, len(out), sc.PerRank))
 					break

@@ -29,7 +29,7 @@ func TestCorpusVaries(t *testing.T) {
 	algs := map[string]bool{}
 	dists := map[string]bool{}
 	probes := map[int]bool{}
-	deaths, crashes, msg, spills := 0, 0, 0, 0
+	deaths, crashes, msg, spills, grows, growDies := 0, 0, 0, 0, 0, 0
 	for _, sc := range Corpus(pinnedSeed, 64) {
 		algs[sc.Algorithm] = true
 		dists[string(sc.Dist)] = true
@@ -46,6 +46,12 @@ func TestCorpusVaries(t *testing.T) {
 		if sc.MemBudget > 0 {
 			spills++
 		}
+		if sc.GrowRanks > 0 {
+			grows++
+		}
+		if sc.GrowDie {
+			growDies++
+		}
 	}
 	if len(algs) < 3 || len(dists) < 6 || deaths == 0 || crashes == 0 || msg == 0 {
 		t.Fatalf("corpus lacks variety: algs=%d dists=%d deaths=%d crashes=%d msg=%d",
@@ -54,6 +60,11 @@ func TestCorpusVaries(t *testing.T) {
 	// The storage axis must show up: a fair fraction of the corpus spills.
 	if spills == 0 {
 		t.Fatal("corpus has no out-of-core scenario")
+	}
+	// The elasticity axis too: mid-stream grows, including at least one
+	// joiner dying inside the grow collective.
+	if grows == 0 || growDies == 0 {
+		t.Fatalf("corpus lacks elasticity: grows=%d grow-dies=%d", grows, growDies)
 	}
 	// The k-ary refinement path must compose with faults in the corpus:
 	// bisection plus at least one multi-probe count.
@@ -146,6 +157,58 @@ func TestStorageAxis(t *testing.T) {
 		if res := Run(sc); !res.Pass() {
 			t.Errorf("%s failed: %s", sc, strings.Join(res.Failures, "; "))
 		}
+	}
+}
+
+// TestElasticityAxis pins the grow oracle on hand-built scenarios: a
+// fault-free mid-stream grow must land the exact front-loaded rebalance
+// shares on every rank including the joiners; a grow under message faults
+// must survive retransmit/dedup inside the join barrier; and a joiner dying
+// mid-grow must resolve typed — incumbents revoke, agree, shrink back, and
+// keep their pre-grow output while every joiner tail stays empty.
+func TestElasticityAxis(t *testing.T) {
+	cases := []Scenario{
+		{Index: 910, Seed: 5, Algorithm: "dhsort", P: 4, PerRank: 256,
+			Threads: 1, Dist: "zipf", Recovery: core.RecoveryRespawn,
+			GrowRanks: 2},
+		{Index: 911, Seed: 5, Algorithm: "hss", P: 4, PerRank: 256,
+			Threads: 1, Dist: "duplicate-heavy", Recovery: core.RecoveryRespawn,
+			Rebalance: true, GrowRanks: 4},
+		{Index: 912, Seed: 5, Algorithm: "dhsort-rma", P: 5, PerRank: 256,
+			Threads: 2, Dist: "uniform", Recovery: core.RecoveryRespawn,
+			GrowRanks: 2,
+			Plan: fault.Plan{Seed: 9, Watchdog: watchdog,
+				DropRate: 0.02, DupRate: 0.02}},
+		{Index: 913, Seed: 5, Algorithm: "dhsort-fused", P: 4, PerRank: 256,
+			Threads: 1, Dist: "nearly-sorted", Recovery: core.RecoveryRespawn,
+			GrowRanks: 2, GrowDie: true,
+			Plan: fault.Plan{Seed: 9, Watchdog: watchdog, DropRate: 0.02}},
+		// Grow composed with the storage axis: the pre-grow sort spills,
+		// then the resident outputs rebalance onto the joiners.
+		{Index: 914, Seed: 5, Algorithm: "dhsort", P: 4, PerRank: 512,
+			Threads: 1, Dist: "zipf", Recovery: core.RecoveryRespawn,
+			MemBudget: 512, SpillFanIn: 2, GrowRanks: 2,
+			Plan: fault.Plan{Seed: 9, Watchdog: watchdog}},
+	}
+	for _, sc := range cases {
+		if res := Run(sc); !res.Pass() {
+			t.Errorf("%s failed: %s", sc, strings.Join(res.Failures, "; "))
+		}
+	}
+}
+
+// A grow scenario replays bit-identically — same digest, same makespan —
+// so elasticity keeps the corpus's deterministic-replay guarantee.
+func TestGrowReplaysBitIdentically(t *testing.T) {
+	sc := Scenario{Index: 915, Seed: 5, Algorithm: "dhsort", P: 4, PerRank: 256,
+		Threads: 1, Dist: "zipf", Recovery: core.RecoveryRespawn, GrowRanks: 2}
+	a, b := Run(sc), Run(sc)
+	if !a.Pass() || !b.Pass() {
+		t.Fatalf("%s failed: %v / %v", sc, a.Failures, b.Failures)
+	}
+	if a.Digest != b.Digest || a.Makespan != b.Makespan {
+		t.Fatalf("%s replay diverged: digest %x/%x makespan %v/%v",
+			sc, a.Digest, b.Digest, a.Makespan, b.Makespan)
 	}
 }
 

@@ -24,6 +24,7 @@ type Comm struct {
 
 	seq       uint64 // per-rank collective sequence number (tag isolation)
 	splits    uint64 // number of Split calls issued on this comm
+	grows     uint64 // number of Grow calls issued on this comm
 	protoTags uint64 // protocol tags handed out by ReserveProtocolTag
 
 	// Reliable-transport state, active only under fault injection.
@@ -35,9 +36,12 @@ type Comm struct {
 // sendFlow identifies one outgoing sequenced flow of a communicator.
 type sendFlow struct{ dst, tag int }
 
-// newWorldComm builds rank's handle on the world communicator (id 1).
-func newWorldComm(w *World, rank int) *Comm {
-	group := make([]int, w.size)
+// newWorldComm builds rank's handle on the world communicator (id 1) over
+// the first size world ranks.  size is passed explicitly (rather than read
+// from the world) so all members of one cohort agree on the communicator
+// extent even while the world is growing underneath them.
+func newWorldComm(w *World, rank, size int) *Comm {
+	group := make([]int, size)
 	for i := range group {
 		group[i] = i
 	}
@@ -99,7 +103,7 @@ func (c *Comm) send(dst, tag int, payload any, bytes int, byteScale float64) {
 	} else {
 		c.stats.record(simnet.SelfLink, vbytes)
 	}
-	c.w.boxes[wdst].put(e)
+	c.w.box(wdst).put(e)
 }
 
 // Retransmission policy of the reliable transport: attempts are capped so a
@@ -184,9 +188,9 @@ func (c *Comm) sendFaulty(inj *fault.Injector, dst, tag int, payload any, vbytes
 				c.stats.record(simnet.SelfLink, vbytes)
 			}
 			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("dup tag=%d seq=%d -> w%d", tag, seq, wdst)})
-			c.w.boxes[wdst].putPair(e, d)
+			c.w.box(wdst).putPair(e, d)
 		} else {
-			c.w.boxes[wdst].put(e)
+			c.w.box(wdst).put(e)
 		}
 		if attempt > 0 {
 			c.observe(fault.Event{Kind: fault.EventRecover, Detail: fmt.Sprintf("delivered tag=%d seq=%d after %d retries", tag, seq, attempt)})
@@ -245,7 +249,7 @@ func (c *Comm) recv(src, tag int) envelope {
 	if src != AnySource && (src < 0 || src >= len(c.group)) {
 		panic(fmt.Sprintf("comm: recv from rank %d outside communicator of size %d", src, len(c.group)))
 	}
-	e, dups := c.w.boxes[c.group[c.rank]].get(c.id, src, tag, c.failCheck(src, tag))
+	e, dups := c.w.box(c.group[c.rank]).get(c.id, src, tag, c.failCheck(src, tag))
 	if dups > 0 {
 		c.stats.Fault.Dedup += int64(dups)
 		c.observe(fault.Event{Kind: fault.EventDetect, Detail: fmt.Sprintf("discarded %d duplicate(s) tag=%d src=%d", dups, tag, src)})
@@ -297,7 +301,7 @@ func (c *Comm) PostRaw(dst, tag int, payload any, arrival time.Duration) {
 		panic(fmt.Sprintf("comm: PostRaw tag %d is below the reserved space [%d, ∞)", tag, UserTagLimit))
 	}
 	e := envelope{comm: c.id, src: c.rank, tag: tag, arrival: arrival, payload: payload}
-	c.w.boxes[c.group[dst]].put(e)
+	c.w.box(c.group[dst]).put(e)
 }
 
 // PostReliable is PostRaw through the reliable transport: under message
@@ -360,9 +364,9 @@ func (c *Comm) PostReliable(dst, tag int, payload any, arrival time.Duration) {
 		if v.Dup {
 			c.stats.Fault.Dups++
 			c.observe(fault.Event{Kind: fault.EventInject, Detail: fmt.Sprintf("dup notify tag=%d seq=%d -> w%d", tag, seq, wdst)})
-			c.w.boxes[wdst].putPair(e, e)
+			c.w.box(wdst).putPair(e, e)
 		} else {
-			c.w.boxes[wdst].put(e)
+			c.w.box(wdst).put(e)
 		}
 		if attempt > 0 {
 			c.observe(fault.Event{Kind: fault.EventRecover, Detail: fmt.Sprintf("notify delivered tag=%d seq=%d after %d retries", tag, seq, attempt)})

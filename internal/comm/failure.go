@@ -85,7 +85,11 @@ func (w *World) markDead(rank int) {
 	w.fmu.Lock()
 	w.dead[rank] = true
 	w.fmu.Unlock()
-	for _, b := range w.boxes {
+	// The list snapshot is taken after the flag store: a box added by a
+	// concurrent grow either precedes the store (fmu orders the swap, so the
+	// snapshot covers it) or its rank enters its first receive afterwards
+	// and observes the flag at wait-loop entry — no wake is lost.
+	for _, b := range w.boxList() {
 		b.wake()
 	}
 }

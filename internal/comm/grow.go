@@ -1,0 +1,197 @@
+package comm
+
+import (
+	"fmt"
+
+	"dhsort/internal/simnet"
+)
+
+// Grow / AwaitGrow: the mirror of Shrink.  Where Shrink densely re-ranks the
+// survivors of a death, Grow folds freshly spawned ranks (World.Spawn) into
+// a running communicator: existing members keep their order, joiners append
+// after them, and every participant derives the same communicator identity
+// without negotiation.  The join runs under the same typed-failure regime as
+// the rest of the ULFM layer — a rank that dies while the join is in flight
+// unwinds every participant with ErrRankDead/ErrCommRevoked through Try,
+// never a deadlock, and the incumbents then recover on the OLD communicator
+// via the ordinary Revoke/Agree/Shrink path.
+
+// growTagBase opens the join protocol's tag band.  It sits above the ULFM
+// agreement band (ulfmTagBase + round, round < 64), so a grow racing a
+// recovery on the same communicator id can never cross wires.
+const growTagBase = ulfmTagBase + 1<<12
+
+// growTicketTag carries the sponsor's join ticket to each joiner, addressed
+// on the joiner's world communicator (id 1).
+const growTicketTag = growTagBase
+
+// growTicket is the sponsor's invitation: everything a joiner needs to
+// construct its handle on the grown communicator.
+type growTicket struct {
+	ID    uint64 // derived identity of the grown communicator
+	Group []int  // communicator rank -> world rank, incumbents first
+	Rank  int    // the joiner's rank within the grown communicator
+}
+
+// Grow is the collective the existing members call to admit joiners: it
+// returns a deterministically derived communicator where the incumbents keep
+// their ranks and the joiners (given by world rank, identical on every
+// caller) append in order.  Rank 0 acts as sponsor, posting each joiner its
+// ticket; then everyone — incumbents and joiners alike — synchronizes
+// virtual clocks at a join barrier on the new communicator.  The old
+// communicator remains valid: a failed grow leaves the incumbents free to
+// Revoke/Agree/Shrink on it and carry on without the joiners.
+func (c *Comm) Grow(joiners []int) *Comm {
+	if len(joiners) == 0 {
+		panic("comm: Grow with no joiners")
+	}
+	// Quiesce the old communicator first: once the barrier completes, every
+	// member has entered Grow, so no straggler can still be receiving
+	// pre-grow traffic when the join barrier's rounds start.  A member that
+	// died earlier is detected here (failCheck) before any ticket is posted.
+	Barrier(c)
+	c.grows++
+	newGroup := make([]int, 0, len(c.group)+len(joiners))
+	newGroup = append(newGroup, c.group...)
+	newGroup = append(newGroup, joiners...)
+	// Epoch 1<<57|grows is disjoint from Split's small epochs and Shrink's
+	// bits^size<<56 form, so a grown communicator can never collide with a
+	// split or shrunk sibling of the same parent.
+	id := splitID(c.id, 1<<57|c.grows, len(newGroup))
+	nc := &Comm{
+		w:     c.w,
+		id:    id,
+		rank:  c.rank,
+		group: newGroup,
+		clock: c.clock,
+		stats: c.stats,
+		obs:   c.obs,
+	}
+	if c.rank == 0 {
+		for i, wr := range joiners {
+			t := growTicket{ID: id, Group: append([]int(nil), newGroup...), Rank: len(c.group) + i}
+			c.postTicket(wr, t)
+		}
+	}
+	joinBarrier(nc)
+	return nc
+}
+
+// AwaitGrow is the joiner's half of the collective: block for the sponsor's
+// ticket (sponsor is a world rank; the specific source means a sponsor that
+// died before inviting us raises ErrRankDead instead of hanging), build the
+// grown communicator from it, and synchronize at the join barrier.  c must
+// be the joiner's world communicator, i.e. the handle Spawn passed to fn.
+func AwaitGrow(c *Comm, sponsor int) *Comm {
+	e := c.recv(sponsor, growTicketTag)
+	t, ok := e.payload.(growTicket)
+	if !ok {
+		panic(fmt.Sprintf("comm: AwaitGrow got a %T, want a join ticket", e.payload))
+	}
+	nc := &Comm{
+		w:     c.w,
+		id:    t.ID,
+		rank:  t.Rank,
+		group: t.Group,
+		clock: c.clock,
+		stats: c.stats,
+		obs:   c.obs,
+	}
+	joinBarrier(nc)
+	return nc
+}
+
+// postTicket delivers a join ticket to the joiner's mailbox, addressed on
+// the world communicator and priced exactly like a two-sided send.  The
+// registration link is assumed reliable (the joiner was just spawned; there
+// is no pre-existing flow to adjudicate), so the post bypasses the fault
+// plane the way RMA notification posts do.
+func (c *Comm) postTicket(wdst int, t growTicket) {
+	wsrc := c.WorldRank()
+	bytes := 8 * (len(t.Group) + 2)
+	e := envelope{comm: 1, src: wsrc, tag: growTicketTag, payload: t}
+	if m := c.w.model; m != nil {
+		c.clock.Advance(m.SendOverhead + m.InjectCost(wsrc, wdst, bytes))
+		e.arrival = c.clock.Now() + m.Latency(wsrc, wdst)
+		c.stats.record(m.Topo.Link(wsrc, wdst), bytes)
+	} else {
+		c.stats.record(simnet.SelfLink, bytes)
+	}
+	c.w.box(wdst).put(e)
+}
+
+// joinBarrier runs the dissemination barrier that completes a grow: the
+// same lg-round structure as Barrier, on fixed tags from the grow band (the
+// joiners have no aligned sequence counters yet, so seq-derived tags are
+// not available).  Its receives are failure-AND-revocation sensitive —
+// unlike ordinary receives, which ignore revocation for clock determinism,
+// a join participant's clock is not yet part of any deterministic flow, so
+// unwinding it early is safe and necessary: the first rank to detect a
+// death revokes the half-built communicator, which wakes and unwinds every
+// other participant, incumbent and joiner alike.
+func joinBarrier(nc *Comm) {
+	defer func() {
+		if p := recover(); p != nil {
+			if fe, ok := p.(*FailureError); ok {
+				nc.Revoke()
+				panic(fe)
+			}
+			panic(p)
+		}
+	}()
+	p := len(nc.group)
+	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
+		tag := growTagBase + 1 + round
+		nc.send((nc.rank+k)%p, tag, struct{}{}, 0, 1)
+		nc.recvJoin((nc.rank-k+p)%p, tag)
+	}
+}
+
+// recvJoin is recv with the join barrier's widened liveness predicate: it
+// unwinds when the awaited sender is registered dead OR the half-built
+// communicator has been revoked by another participant's detection.
+func (c *Comm) recvJoin(src, tag int) {
+	var check func()
+	if c.w.inj != nil {
+		check = func() {
+			w := c.w
+			w.fmu.Lock()
+			dead := w.dead[c.group[src]]
+			revoked := w.revoked[c.id]
+			w.fmu.Unlock()
+			if dead {
+				panic(&FailureError{err: ErrRankDead, Rank: c.group[src], Comm: c.id,
+					Detail: fmt.Sprintf("join barrier receive (src=%d, tag=%d) from a dead rank", src, tag)})
+			}
+			if revoked {
+				panic(&FailureError{err: ErrCommRevoked, Rank: -1, Comm: c.id,
+					Detail: "join barrier on a revoked communicator"})
+			}
+		}
+	}
+	e, dups := c.w.box(c.group[c.rank]).get(c.id, src, tag, check)
+	if dups > 0 {
+		c.stats.Fault.Dedup += int64(dups)
+	}
+	c.clock.Arrive(e.arrival)
+}
+
+// adopt re-points this rank's persistent communicator handle at the derived
+// communicator nc, resetting every piece of per-communicator transport
+// state: collective sequence numbers, split/grow epochs, protocol-tag and
+// fault-control reservations, and the reliable transport's per-flow
+// sequence numbers all restart from zero, identically on every member —
+// incumbents and joiners enter the next job with aligned counters.  clock,
+// stats and observer are already shared with nc (it was derived from this
+// rank's lineage), so per-job accounting is unaffected.
+func (c *Comm) adopt(nc *Comm) {
+	c.id = nc.id
+	c.rank = nc.rank
+	c.group = nc.group
+	c.seq = 0
+	c.splits = 0
+	c.grows = 0
+	c.protoTags = 0
+	c.sendSeq = nil
+	c.faultTag = 0
+}

@@ -1,0 +1,363 @@
+package comm
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dhsort/internal/simnet"
+)
+
+// TestSpawnAndGrow walks the full join protocol on a fault-free world: rank
+// 0 spawns two joiners mid-run, every incumbent calls the Grow collective,
+// the joiners AwaitGrow, and the grown communicator is collective-capable
+// with incumbents keeping their ranks and joiners appended.
+func TestSpawnAndGrow(t *testing.T) {
+	const p, k = 4, 2
+	w, err := NewWorld(p, simnet.SuperMUC(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiners := []int{4, 5}
+	var spawned *Spawned
+	err = w.Run(func(c *Comm) error {
+		Barrier(c)
+		if c.Rank() == 0 {
+			s, serr := w.Spawn(k, func(jc *Comm) error {
+				if jc.Size() != p+k {
+					t.Errorf("joiner world comm has size %d, want %d", jc.Size(), p+k)
+				}
+				nc := AwaitGrow(jc, 0)
+				if nc.Size() != p+k {
+					t.Errorf("joiner: grown comm has size %d, want %d", nc.Size(), p+k)
+				}
+				got := AllgatherOne(nc, nc.WorldRank())
+				if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5}) {
+					t.Errorf("joiner %d: allgather on grown comm: %v", jc.Rank(), got)
+				}
+				return nil
+			})
+			if serr != nil {
+				return serr
+			}
+			if !reflect.DeepEqual(s.Ranks(), joiners) {
+				t.Errorf("spawned world ranks %v, want %v", s.Ranks(), joiners)
+			}
+			spawned = s
+		}
+		nc := c.Grow(joiners)
+		if nc.Rank() != c.Rank() {
+			t.Errorf("incumbent rank changed across Grow: %d -> %d", c.Rank(), nc.Rank())
+		}
+		if nc.Size() != p+k {
+			t.Errorf("grown comm has size %d, want %d", nc.Size(), p+k)
+		}
+		got := AllgatherOne(nc, nc.WorldRank())
+		if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5}) {
+			t.Errorf("incumbent %d: allgather on grown comm: %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spawned.Wait(); err != nil {
+		t.Fatalf("joiners failed: %v", err)
+	}
+	if w.Size() != p+k {
+		t.Errorf("world size after grow: %d, want %d", w.Size(), p+k)
+	}
+}
+
+// TestGrowDeterministicIdentity pins the grown communicator's identity
+// derivation: a pure function of the parent id and the grow epoch, so all
+// members of a run — and identical replays — agree on it without
+// negotiation, exactly like Shrink's.
+func TestGrowDeterministicIdentity(t *testing.T) {
+	const p, k = 4, 2
+	run := func() []uint64 {
+		w, err := NewWorld(p, simnet.SuperMUC(2, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, p+k)
+		var mu sync.Mutex
+		var spawned *Spawned
+		err = w.Run(func(c *Comm) error {
+			Barrier(c)
+			if c.Rank() == 0 {
+				s, serr := w.Spawn(k, func(jc *Comm) error {
+					nc := AwaitGrow(jc, 0)
+					mu.Lock()
+					ids[nc.Rank()] = nc.id
+					mu.Unlock()
+					Barrier(nc)
+					return nil
+				})
+				if serr != nil {
+					return serr
+				}
+				spawned = s
+			}
+			nc := c.Grow([]int{4, 5})
+			mu.Lock()
+			ids[nc.Rank()] = nc.id
+			mu.Unlock()
+			Barrier(nc)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spawned.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("grown communicator identities differ across identical runs: %v vs %v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			t.Errorf("members disagree on the grown identity: %v", a)
+			break
+		}
+	}
+	if a[0] == 0 || a[0] == 1 {
+		t.Errorf("grown identity fell into the reserved range: %v", a)
+	}
+}
+
+// TestGrowJoinerDeathResolves injects a death DURING the grow: one of the
+// two joiners dies instead of joining.  Every participant — incumbents and
+// the surviving joiner — must unwind with a typed failure (never deadlock),
+// and the incumbents must then recover through the ordinary
+// Revoke/Agree/Shrink path on the OLD communicator and carry on without
+// the joiners.
+func TestGrowJoinerDeathResolves(t *testing.T) {
+	const p = 4
+	w, err := NewWorldWithFaults(p, simnet.SuperMUC(2, true), diePlan(1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spawned *Spawned
+	err = w.Run(func(c *Comm) error {
+		Barrier(c)
+		if c.Rank() == 0 {
+			s, serr := w.Spawn(2, func(jc *Comm) error {
+				if jc.Rank() == 4 {
+					jc.Die() // never returns
+				}
+				jerr := Try(func() { AwaitGrow(jc, 0) })
+				if !errors.Is(jerr, ErrRankDead) && !errors.Is(jerr, ErrCommRevoked) {
+					t.Errorf("surviving joiner must unwind typed, got: %v", jerr)
+				}
+				return jerr
+			})
+			if serr != nil {
+				return serr
+			}
+			spawned = s
+		}
+		gerr := Try(func() { c.Grow([]int{4, 5}) })
+		if gerr == nil {
+			t.Errorf("rank %d: Grow with a dying joiner must fail", c.Rank())
+			return nil
+		}
+		if !errors.Is(gerr, ErrRankDead) && !errors.Is(gerr, ErrCommRevoked) {
+			t.Errorf("rank %d: Grow failure must be typed, got: %v", c.Rank(), gerr)
+		}
+		// The standard recovery recipe on the old communicator: all four
+		// incumbents survived, so the shrink is an identity re-rank and the
+		// world continues without the joiners.
+		c.Revoke()
+		alive, _ := c.Agree(nil)
+		nc := c.Shrink(alive)
+		if nc.Size() != p {
+			t.Errorf("rank %d: survivor comm has size %d, want %d", c.Rank(), nc.Size(), p)
+		}
+		got := AllgatherOne(nc, c.WorldRank())
+		if !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+			t.Errorf("rank %d: allgather after recovery: %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surviving joiner's typed failure surfaces through Wait; the dead
+	// joiner's scheduled exit is clean and contributes no error.
+	werr := spawned.Wait()
+	if !errors.Is(werr, ErrRankDead) && !errors.Is(werr, ErrCommRevoked) {
+		t.Errorf("Spawned.Wait must surface the surviving joiner's typed failure, got: %v", werr)
+	}
+	if !w.RankDead(4) {
+		t.Errorf("dead joiner not registered: %v", w.DeadRanks())
+	}
+}
+
+// TestGrowIncumbentDeathResolves is the other composition: an incumbent
+// (not the sponsor) dies between the quiesce barrier and the join barrier.
+// The remaining incumbents and both joiners unwind typed, and the
+// incumbents shrink past the victim.
+func TestGrowIncumbentDeathResolves(t *testing.T) {
+	const p = 4
+	w, err := NewWorldWithFaults(p, simnet.SuperMUC(2, true), diePlan(2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spawned *Spawned
+	err = w.Run(func(c *Comm) error {
+		Barrier(c)
+		if c.Rank() == 0 {
+			s, serr := w.Spawn(2, func(jc *Comm) error {
+				jerr := Try(func() { AwaitGrow(jc, 0) })
+				if !errors.Is(jerr, ErrRankDead) && !errors.Is(jerr, ErrCommRevoked) {
+					t.Errorf("joiner must unwind typed, got: %v", jerr)
+				}
+				return jerr
+			})
+			if serr != nil {
+				return serr
+			}
+			spawned = s
+		}
+		if c.Rank() == 2 {
+			// Participate in Grow's entry barrier so nobody is still owed
+			// pre-grow traffic, then die mid-protocol.
+			Barrier(c)
+			c.Die()
+		}
+		gerr := Try(func() { c.Grow([]int{4, 5}) })
+		if gerr == nil {
+			t.Errorf("rank %d: Grow across a death must fail", c.Rank())
+			return nil
+		}
+		if !errors.Is(gerr, ErrRankDead) && !errors.Is(gerr, ErrCommRevoked) {
+			t.Errorf("rank %d: Grow failure must be typed, got: %v", c.Rank(), gerr)
+		}
+		c.Revoke()
+		suspect := make([]bool, p)
+		suspect[2] = true
+		alive, _ := c.Agree(suspect)
+		nc := c.Shrink(alive)
+		if nc.Size() != p-1 {
+			t.Errorf("rank %d: survivor comm has size %d, want %d", c.Rank(), nc.Size(), p-1)
+		}
+		got := AllgatherOne(nc, c.WorldRank())
+		if !reflect.DeepEqual(got, []int{0, 1, 3}) {
+			t.Errorf("rank %d: allgather after recovery: %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := spawned.Wait()
+	if !errors.Is(werr, ErrRankDead) && !errors.Is(werr, ErrCommRevoked) {
+		t.Errorf("Spawned.Wait must surface the joiners' typed failures, got: %v", werr)
+	}
+}
+
+// TestPersistentWorldGrowShrink drives the warm-world elasticity cycle the
+// service pool uses: jobs on 4 ranks, Grow(2) between jobs, jobs on 6,
+// Shrink(2) back to 4, then Grow(1) again — the re-grown rank gets a fresh
+// world rank (retired ranks are never resurrected), and every epoch's
+// collective sees exactly the current membership.
+func TestPersistentWorldGrowShrink(t *testing.T) {
+	model := simnet.SuperMUC(2, true)
+	pw, err := NewPersistentWorld(4, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pw.Close()
+
+	gather := func(want []int) {
+		t.Helper()
+		var mu sync.Mutex
+		var got []int
+		err := pw.Execute(func(c *Comm) error {
+			all := AllgatherOne(c, c.WorldRank())
+			if c.Rank() == 0 {
+				mu.Lock()
+				got = all
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("membership %v, want %v", got, want)
+		}
+	}
+
+	gather([]int{0, 1, 2, 3})
+	if err := pw.Grow(2); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if pw.Size() != 6 || pw.Joined() != 2 {
+		t.Fatalf("after Grow: size=%d joined=%d", pw.Size(), pw.Joined())
+	}
+	gather([]int{0, 1, 2, 3, 4, 5})
+	if pw.Makespan() <= 0 {
+		t.Errorf("grown job has no makespan")
+	}
+	if err := pw.Shrink(2); err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if pw.Size() != 4 || pw.Removed() != 2 {
+		t.Fatalf("after Shrink: size=%d removed=%d", pw.Size(), pw.Removed())
+	}
+	gather([]int{0, 1, 2, 3})
+	// Re-grow after a shrink: world ranks 4 and 5 are retired for good, so
+	// the new member lands on world rank 6.
+	if err := pw.Grow(1); err != nil {
+		t.Fatalf("re-Grow: %v", err)
+	}
+	gather([]int{0, 1, 2, 3, 6})
+	if !pw.Healthy() {
+		t.Error("world unhealthy after a clean grow/shrink cycle")
+	}
+	if pw.BaseSize() != 4 {
+		t.Errorf("BaseSize=%d, want 4", pw.BaseSize())
+	}
+}
+
+// TestPersistentWorldGrowMakespanDeterministic pins virtual-clock sync at
+// the join barrier: identical grow-then-sort sequences on two worlds land
+// on bit-identical makespans.
+func TestPersistentWorldGrowMakespanDeterministic(t *testing.T) {
+	model := simnet.SuperMUC(2, true)
+	run := func() (int64, int64) {
+		pw, err := NewPersistentWorld(4, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pw.Close()
+		if err := pw.Grow(2); err != nil {
+			t.Fatal(err)
+		}
+		var growNS int64 = int64(pw.Makespan())
+		err = pw.Execute(func(c *Comm) error {
+			vals := AllgatherOne(c, c.Rank()*7)
+			_ = vals
+			Barrier(c)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return growNS, int64(pw.Makespan())
+	}
+	g1, j1 := run()
+	g2, j2 := run()
+	if g1 != g2 || j1 != j2 {
+		t.Errorf("grow/job makespans differ across identical runs: (%d,%d) vs (%d,%d)", g1, j1, g2, j2)
+	}
+}

@@ -48,23 +48,38 @@ type PersistentWorld struct {
 	w    *World
 	size int
 	jobs []chan func(c *Comm) error
-	done chan rankDone
-	wg   sync.WaitGroup
+	// ranks maps a jobs index (== communicator rank) to its world rank.
+	// Identity at construction; Grow appends fresh world ranks, Shrink
+	// truncates the top, so the two stay aligned with the communicator's
+	// order-preserving group mapping.
+	ranks []int
+	done  chan rankDone
+	wg    sync.WaitGroup
 
-	runMu sync.Mutex // serializes Execute; jobs on one world are sequential
+	runMu sync.Mutex // serializes Execute/Grow/Shrink; jobs are sequential
 
-	mu      sync.Mutex
-	broken  bool
-	closed  bool
-	jobsRun int
+	mu       sync.Mutex
+	broken   bool
+	closed   bool
+	jobsRun  int
+	baseSize int // size at construction
+	joined   int // ranks admitted by Grow over the world's lifetime
+	removed  int // ranks retired by Shrink over the world's lifetime
 }
 
 // rankDone is one rank's verdict on one job.
 type rankDone struct {
-	rank int
-	err  error
-	dead bool // the world cannot run further jobs (abort or permanent death)
+	rank  int
+	err   error
+	dead  bool // the world cannot run further jobs (abort or permanent death)
+	leave bool // the rank retired cleanly under Shrink; its loop exits
 }
+
+// errLeaveWorld is the sentinel a retiring rank returns under Shrink: a
+// clean, coordinated exit, not a failure — runJob skips the quiesce barrier
+// (the survivors run it on a communicator the victim is no longer part of)
+// and rankLoop terminates.
+var errLeaveWorld = errors.New("comm: rank leaves the world")
 
 // NewPersistentWorld creates a persistent world of the given size.  model
 // may be nil for real-time execution.  The rank goroutines start immediately
@@ -75,26 +90,36 @@ func NewPersistentWorld(size int, model *simnet.CostModel) (*PersistentWorld, er
 		return nil, err
 	}
 	pw := &PersistentWorld{
-		w:    w,
-		size: size,
-		jobs: make([]chan func(c *Comm) error, size),
-		done: make(chan rankDone, size),
+		w:        w,
+		size:     size,
+		baseSize: size,
+		jobs:     make([]chan func(c *Comm) error, size),
+		ranks:    make([]int, size),
+		done:     make(chan rankDone, size),
 	}
 	for r := 0; r < size; r++ {
+		pw.ranks[r] = r
 		pw.jobs[r] = make(chan func(c *Comm) error, 1)
 		pw.wg.Add(1)
-		go pw.rankLoop(r)
+		go pw.rankLoop(pw.jobs[r], r, size)
 	}
 	return pw, nil
 }
 
-// rankLoop is one rank's lifetime: a fresh Comm, then one job after another
-// until Close.  The Comm survives across jobs by design.
-func (pw *PersistentWorld) rankLoop(rank int) {
+// rankLoop is one rank's lifetime: a fresh Comm over the first size world
+// ranks, then one job after another until Close (or a clean leave under
+// Shrink).  The Comm survives across jobs by design; Grow re-points it at
+// the grown communicator in place (adopt).  The jobs channel is passed in
+// rather than indexed from pw.jobs, which Grow appends to concurrently.
+func (pw *PersistentWorld) rankLoop(jobs chan func(c *Comm) error, rank, size int) {
 	defer pw.wg.Done()
-	c := newWorldComm(pw.w, rank)
-	for fn := range pw.jobs[rank] {
-		pw.done <- pw.runJob(c, rank, fn)
+	c := newWorldComm(pw.w, rank, size)
+	for fn := range jobs {
+		d := pw.runJob(c, rank, fn)
+		pw.done <- d
+		if d.leave {
+			return
+		}
 	}
 }
 
@@ -130,6 +155,13 @@ func (pw *PersistentWorld) runJob(c *Comm, rank int, fn func(c *Comm) error) (d 
 		}
 	}()
 	if err := fn(c); err != nil {
+		if errors.Is(err, errLeaveWorld) {
+			// A clean, coordinated retirement (Shrink): skip the quiesce
+			// barrier — the survivors run theirs on a communicator this rank
+			// is no longer part of — and let the loop exit.
+			d.leave = true
+			return
+		}
 		d.err = fmt.Errorf("comm: rank %d: %w", rank, err)
 		d.dead = true
 		pw.w.abort()
@@ -197,6 +229,184 @@ func (pw *PersistentWorld) Execute(fn func(c *Comm) error) error {
 	return errors.Join(errs...)
 }
 
+// Grow admits k fresh ranks into the warm world between jobs: the world
+// grows (mailboxes registered, registry widened), k new rank loops start,
+// and a join job runs as one collective — incumbents call the Grow
+// collective with rank 0 sponsoring, joiners AwaitGrow — after which every
+// rank's persistent communicator is re-pointed (adopt) at the grown one.
+// Warm per-rank state (clocks, mailboxes, goroutines) survives; the next
+// Execute runs on size+k ranks.  Serialized with Execute; a failed join
+// breaks the world like any failed job.
+func (pw *PersistentWorld) Grow(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("comm: Grow count must be positive, got %d", k)
+	}
+	pw.runMu.Lock()
+	defer pw.runMu.Unlock()
+	pw.mu.Lock()
+	if pw.closed {
+		pw.mu.Unlock()
+		return ErrWorldClosed
+	}
+	if pw.broken {
+		pw.mu.Unlock()
+		return ErrWorldBroken
+	}
+	pw.mu.Unlock()
+
+	newRanks := pw.w.grow(k)
+	size := newRanks[k-1] + 1
+	sponsor := pw.ranks[0]
+	growFn := func(c *Comm) error {
+		c.adopt(c.Grow(newRanks))
+		return nil
+	}
+	joinFn := func(c *Comm) error {
+		c.adopt(AwaitGrow(c, sponsor))
+		return nil
+	}
+	old := len(pw.jobs)
+	for _, r := range newRanks {
+		ch := make(chan func(c *Comm) error, 1)
+		pw.jobs = append(pw.jobs, ch)
+		pw.ranks = append(pw.ranks, r)
+		pw.wg.Add(1)
+		go pw.rankLoop(ch, r, size)
+		ch <- joinFn
+	}
+	for i := 0; i < old; i++ {
+		pw.jobs[i] <- growFn
+	}
+	errs := make([]error, 0, old+k)
+	dead := false
+	for i := 0; i < old+k; i++ {
+		d := <-pw.done
+		if d.err != nil {
+			errs = append(errs, d.err)
+		}
+		if d.dead {
+			dead = true
+		}
+	}
+	pw.mu.Lock()
+	pw.jobsRun++
+	if dead {
+		pw.broken = true
+	} else {
+		pw.size += k
+		pw.joined += k
+	}
+	pw.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Shrink retires the top k ranks gracefully between jobs, reusing the ULFM
+// path: one collective job quiesces the world, the victims leave cleanly
+// (their loops exit), and the survivors Revoke the old communicator, Agree
+// on the structural suspect set, Shrink to the densely re-ranked survivor
+// communicator and adopt it.  The next Execute runs on size-k ranks; rank
+// order — and with it any warm partition order — is preserved.
+func (pw *PersistentWorld) Shrink(k int) error {
+	pw.runMu.Lock()
+	defer pw.runMu.Unlock()
+	pw.mu.Lock()
+	if pw.closed {
+		pw.mu.Unlock()
+		return ErrWorldClosed
+	}
+	if pw.broken {
+		pw.mu.Unlock()
+		return ErrWorldBroken
+	}
+	size := pw.size
+	pw.mu.Unlock()
+	if k <= 0 || k >= size {
+		return fmt.Errorf("comm: Shrink by %d ranks on a world of %d", k, size)
+	}
+
+	keep := size - k
+	shrinkFn := func(c *Comm) error {
+		// Quiesce: every rank enters the retirement collective together, so
+		// no victim leaves while a peer still owes it traffic.
+		Barrier(c)
+		if c.rank >= keep {
+			return errLeaveWorld
+		}
+		c.Revoke()
+		suspect := make([]bool, len(c.group))
+		for r := keep; r < len(c.group); r++ {
+			suspect[r] = true
+		}
+		alive, _ := c.Agree(suspect)
+		c.adopt(c.Shrink(alive))
+		return nil
+	}
+	for i := 0; i < size; i++ {
+		pw.jobs[i] <- shrinkFn
+	}
+	errs := make([]error, 0, size)
+	dead := false
+	for i := 0; i < size; i++ {
+		d := <-pw.done
+		if d.err != nil {
+			errs = append(errs, d.err)
+		}
+		if d.dead {
+			dead = true
+		}
+	}
+	victims := append([]int(nil), pw.ranks[keep:]...)
+	pw.mu.Lock()
+	pw.jobsRun++
+	if dead {
+		pw.broken = true
+	} else {
+		pw.size = keep
+		pw.removed += k
+		pw.jobs = pw.jobs[:keep]
+		pw.ranks = pw.ranks[:keep]
+	}
+	pw.mu.Unlock()
+	if dead {
+		return errors.Join(errs...)
+	}
+	// Register the retirements and clear the victims' last-job accounting so
+	// Makespan/TotalStats of subsequent jobs never read their stale rows.
+	for _, wr := range victims {
+		pw.w.markDead(wr)
+	}
+	pw.w.mu.Lock()
+	for _, wr := range victims {
+		pw.w.finals[wr] = 0
+		pw.w.stats[wr] = Stats{}
+	}
+	pw.w.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Joined returns the number of ranks admitted by Grow over the world's
+// lifetime (the service's per-job elasticity marker).
+func (pw *PersistentWorld) Joined() int {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.joined
+}
+
+// Removed returns the number of ranks retired by Shrink over the world's
+// lifetime.
+func (pw *PersistentWorld) Removed() int {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.removed
+}
+
+// BaseSize returns the world's size at construction.
+func (pw *PersistentWorld) BaseSize() int {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.baseSize
+}
+
 // Healthy reports whether the world can run further jobs.
 func (pw *PersistentWorld) Healthy() bool {
 	pw.mu.Lock()
@@ -212,8 +422,12 @@ func (pw *PersistentWorld) JobsRun() int {
 	return pw.jobsRun
 }
 
-// Size returns the number of ranks.
-func (pw *PersistentWorld) Size() int { return pw.size }
+// Size returns the current number of ranks (Grow and Shrink change it).
+func (pw *PersistentWorld) Size() int {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.size
+}
 
 // Model returns the world's cost model (nil in real-time mode).
 func (pw *PersistentWorld) Model() *simnet.CostModel { return pw.w.model }

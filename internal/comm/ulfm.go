@@ -51,7 +51,7 @@ func (c *Comm) Revoke() {
 	w.revoked[c.id] = true
 	w.fmu.Unlock()
 	if !already {
-		for _, b := range w.boxes {
+		for _, b := range w.boxList() {
 			b.wake()
 		}
 	}

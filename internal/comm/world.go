@@ -22,31 +22,50 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dhsort/internal/fault"
 	"dhsort/internal/simnet"
 )
 
-// World hosts a fixed set of ranks and their mailboxes.
+// World hosts a set of ranks and their mailboxes.  The set can grow at
+// runtime: Spawn brings fresh rank goroutines into a running world (see
+// grow.go for the join protocol that folds them into a communicator).
 type World struct {
-	size  int
-	model *simnet.CostModel
-	boxes []*mailbox
-	inj   *fault.Injector // nil in fault-free worlds
+	model    *simnet.CostModel
+	inj      *fault.Injector // nil in fault-free worlds
+	watchdog time.Duration   // receive watchdog inherited by spawned ranks
 
-	mu     sync.Mutex
-	finals []time.Duration // per-rank clock at fn return
-	stats  []Stats         // per-rank aggregated communication stats
+	// boxes is the per-world-rank mailbox list.  Senders index it lock-free
+	// on the hot path, and grow publishes an extended copy atomically, so
+	// the pointer is the only synchronization a send needs.  Mutations
+	// happen under BOTH mu and fmu (mu orders grow against abort, fmu
+	// orders it against the failure registry's wake broadcasts).
+	boxes atomic.Pointer[[]*mailbox]
+
+	mu      sync.Mutex
+	size    int             // current number of world ranks
+	aborted bool            // a failed rank poisoned the mailboxes
+	finals  []time.Duration // per-rank clock at fn return
+	stats   []Stats         // per-rank aggregated communication stats
 
 	// Failure registry of the ULFM layer: permanently dead world ranks and
 	// revoked communicator ids.  fmu is never held while a mailbox mutex is
 	// (flags are set first, mailboxes woken after), so blocked receivers can
-	// consult the registry from inside their mailbox wait loop.
+	// consult the registry from inside their mailbox wait loop.  Lock order:
+	// mu before fmu when both are needed (grow).
 	fmu     sync.Mutex
 	dead    []bool
 	revoked map[uint64]bool
 }
+
+// box returns world rank i's mailbox.
+func (w *World) box(i int) *mailbox { return (*w.boxes.Load())[i] }
+
+// boxList returns the current mailbox list (an immutable snapshot; grow
+// publishes a fresh slice rather than mutating one in place).
+func (w *World) boxList() []*mailbox { return *w.boxes.Load() }
 
 // NewWorld creates a world of the given size.  model may be nil for
 // real-time execution; a non-nil model prices all communication and enables
@@ -74,27 +93,34 @@ func NewWorldWithFaults(size int, model *simnet.CostModel, plan fault.Plan) (*Wo
 		return nil, err
 	}
 	w := &World{
-		size:    size,
-		model:   model,
-		inj:     inj,
-		boxes:   make([]*mailbox, size),
-		finals:  make([]time.Duration, size),
-		stats:   make([]Stats, size),
-		dead:    make([]bool, size),
-		revoked: make(map[uint64]bool),
+		size:     size,
+		model:    model,
+		inj:      inj,
+		watchdog: plan.Watchdog,
+		finals:   make([]time.Duration, size),
+		stats:    make([]Stats, size),
+		dead:     make([]bool, size),
+		revoked:  make(map[uint64]bool),
 	}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-		w.boxes[i].watchdog = plan.Watchdog
+	boxes := make([]*mailbox, size)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+		boxes[i].watchdog = plan.Watchdog
 	}
+	w.boxes.Store(&boxes)
 	return w, nil
 }
 
 // FaultInjector returns the world's fault injector (nil when fault-free).
 func (w *World) FaultInjector() *fault.Injector { return w.inj }
 
-// Size returns the number of ranks.
-func (w *World) Size() int { return w.size }
+// Size returns the current number of ranks (growable worlds may report a
+// larger value after Spawn).
+func (w *World) Size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
 
 // Model returns the world's cost model (nil in real-time mode).
 func (w *World) Model() *simnet.CostModel { return w.model }
@@ -110,8 +136,9 @@ var errAborted = errors.New("comm: world aborted")
 // A World is single-shot: create a fresh one per Run.
 func (w *World) Run(fn func(c *Comm) error) error {
 	var wg sync.WaitGroup
-	errs := make([]error, w.size)
-	for r := 0; r < w.size; r++ {
+	size := w.Size()
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -144,7 +171,7 @@ func (w *World) Run(fn func(c *Comm) error) error {
 					w.abort()
 				}
 			}()
-			c = newWorldComm(w, rank)
+			c = newWorldComm(w, rank, size)
 			if err := fn(c); err != nil {
 				errs[rank] = fmt.Errorf("comm: rank %d: %w", rank, err)
 				w.abort()
@@ -164,11 +191,147 @@ func (w *World) Run(fn func(c *Comm) error) error {
 	return errors.Join(errs...)
 }
 
-// abort poisons every mailbox so blocked ranks unwind.
+// abort poisons every mailbox so blocked ranks unwind.  The aborted flag is
+// set under mu before the snapshot, and grow swaps the mailbox list under
+// the same mutex, so a concurrent grow either lands its boxes in this
+// snapshot or observes the flag and poisons them itself — never neither.
 func (w *World) abort() {
-	for _, b := range w.boxes {
+	w.mu.Lock()
+	w.aborted = true
+	boxes := w.boxList()
+	w.mu.Unlock()
+	for _, b := range boxes {
 		b.abort()
 	}
+}
+
+// grow extends the world by k fresh ranks — mailboxes registered for
+// senders, failure registry widened, per-rank accounting extended — and
+// returns their world ranks.  The new ranks have no goroutines yet; Spawn
+// (or PersistentWorld.Grow) starts them.
+func (w *World) grow(k int) []int {
+	if k <= 0 {
+		panic(fmt.Sprintf("comm: grow by %d ranks", k))
+	}
+	fresh := make([]*mailbox, k)
+	for i := range fresh {
+		fresh[i] = newMailbox()
+		fresh[i].watchdog = w.watchdog
+	}
+	w.mu.Lock()
+	w.fmu.Lock()
+	old := w.size
+	ranks := make([]int, k)
+	for i := range ranks {
+		ranks[i] = old + i
+	}
+	w.size += k
+	w.finals = append(w.finals, make([]time.Duration, k)...)
+	w.stats = append(w.stats, make([]Stats, k)...)
+	w.dead = append(w.dead, make([]bool, k)...)
+	list := make([]*mailbox, 0, old+k)
+	list = append(list, w.boxList()...)
+	list = append(list, fresh...)
+	w.boxes.Store(&list)
+	aborted := w.aborted
+	w.fmu.Unlock()
+	w.mu.Unlock()
+	if aborted {
+		// The world died while we were growing: poison the new boxes so the
+		// joiners unwind like everyone else instead of blocking forever.
+		for _, b := range fresh {
+			b.abort()
+		}
+	}
+	return ranks
+}
+
+// Spawned tracks the rank goroutines brought into a world by Spawn.
+type Spawned struct {
+	ranks []int
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	errs  []error
+}
+
+// Ranks returns the world ranks assigned to the spawned goroutines, in
+// spawn order (ascending).
+func (s *Spawned) Ranks() []int { return append([]int(nil), s.ranks...) }
+
+// Wait blocks until every spawned rank's fn has returned and joins their
+// errors.  A joiner that unwound with a typed FailureError (its join was cut
+// short by a death) reports it here rather than aborting the world — the
+// surviving members own the recovery decision.
+func (s *Spawned) Wait() error {
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return errors.Join(s.errs...)
+}
+
+// Spawn brings k new rank goroutines into the running world: fresh link
+// registration (mailboxes visible to every sender), seeded fault
+// adjudication (the joiners share the world's injector and failure
+// registry), and world ranks appended after the existing ones.  Each
+// goroutine runs fn on a world-spanning communicator handle; a joiner
+// typically calls AwaitGrow first to fold itself into the communicator the
+// existing ranks derive with Grow.
+//
+// Unlike Run's ranks, a joiner whose fn returns an error or unwinds with a
+// typed failure does NOT abort the world: a failed join must leave the
+// incumbents free to recover via Revoke/Agree/Shrink.  Only an untyped
+// panic (a bug, not a protocol outcome) aborts.
+func (w *World) Spawn(k int, fn func(c *Comm) error) (*Spawned, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("comm: Spawn count must be positive, got %d", k)
+	}
+	ranks := w.grow(k)
+	size := ranks[k-1] + 1
+	s := &Spawned{ranks: ranks, errs: make([]error, k)}
+	for i, rank := range ranks {
+		s.wg.Add(1)
+		go func(i, rank int) {
+			defer s.wg.Done()
+			var c *Comm
+			defer func() {
+				if p := recover(); p != nil {
+					if p == errAborted {
+						return
+					}
+					if se, ok := p.(suicideExit); ok {
+						w.mu.Lock()
+						w.finals[rank] = se.c.clock.Now()
+						w.stats[rank] = *se.c.stats
+						w.mu.Unlock()
+						return
+					}
+					if fe, ok := p.(*FailureError); ok {
+						s.mu.Lock()
+						s.errs[i] = fmt.Errorf("comm: joiner rank %d: %w", rank, fe)
+						s.mu.Unlock()
+						return
+					}
+					s.mu.Lock()
+					s.errs[i] = fmt.Errorf("comm: joiner rank %d panicked: %v\n%s", rank, p, debug.Stack())
+					s.mu.Unlock()
+					w.abort()
+					return
+				}
+			}()
+			c = newWorldComm(w, rank, size)
+			if err := fn(c); err != nil {
+				s.mu.Lock()
+				s.errs[i] = fmt.Errorf("comm: joiner rank %d: %w", rank, err)
+				s.mu.Unlock()
+				return
+			}
+			w.mu.Lock()
+			w.finals[rank] = c.clock.Now()
+			w.stats[rank] = *c.stats
+			w.mu.Unlock()
+		}(i, rank)
+	}
+	return s, nil
 }
 
 // Makespan returns the maximum per-rank completion time of the last Run —

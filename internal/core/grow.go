@@ -1,0 +1,24 @@
+package core
+
+import (
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+)
+
+// GrowRebalance re-partitions sorted per-rank output onto a freshly grown
+// communicator: called collectively on the communicator Grow/AwaitGrow
+// returned, with the incumbents passing their partitions and the joiners
+// empty slices.  It drives the diffusion machinery of RebalanceOutput at a
+// zero imbalance tolerance, so the flow schedule — derived identically on
+// every rank from the allgathered sizes — sheds tails rightward and heads
+// leftward until every rank, joiners included, holds its front-loaded
+// balanced share.  Order is preserved by construction (elements only cross
+// adjacent boundaries), so the grown world's concatenated output is the
+// same sorted sequence, now cut at P+k boundaries instead of P.  All
+// traffic is priced on the virtual clock and recorded as a rebalance pass.
+func GrowRebalance[K any](c *comm.Comm, out []K, ops keys.Ops[K], cfg Config) []K {
+	// Zero tolerance: the incumbents exceed any bound computed over the
+	// grown size, which is exactly what forces flow onto the empty joiners.
+	cfg.Epsilon = 0
+	return RebalanceOutput(c, out, ops, cfg)
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dhsort/internal/comm"
+	"dhsort/internal/keys"
+	"dhsort/internal/prng"
+	"dhsort/internal/simnet"
+)
+
+// growInput deterministically generates rank r's share of the test stream.
+func growInput(seed uint64, rank, n int) []uint64 {
+	src := prng.NewSplitMix64(seed + uint64(rank)*0x9e3779b97f4a7c15)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = src.Uint64()
+	}
+	return out
+}
+
+// growRun executes the full elasticity acceptance scenario once: a P=8
+// world sorts a stream, grows to P=12 mid-stream (spawn + grow collective +
+// GrowRebalance of the sorted output onto the joiners), then sorts a SECOND
+// stream on the grown communicator.  It returns the per-world-rank final
+// partitions of the second sort plus the world makespan.
+func growRun(t *testing.T, seed uint64) ([][]uint64, time.Duration) {
+	t.Helper()
+	const p, k, n = 8, 4, 2000
+	model := simnet.SuperMUC(4, true)
+	w, err := comm.NewWorld(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiners := []int{8, 9, 10, 11}
+	outs := make([][]uint64, p+k)
+	var mu sync.Mutex
+	var spawned *comm.Spawned
+	record := func(c *comm.Comm, part []uint64) {
+		mu.Lock()
+		outs[c.WorldRank()] = part
+		mu.Unlock()
+	}
+	// The joiners' half: await the grow, receive a balanced share of the
+	// first stream's order, then take a full share of the second stream —
+	// the point of growing is that new traffic lands on the new capacity.
+	joinFn := func(jc *comm.Comm) error {
+		nc := comm.AwaitGrow(jc, 0)
+		part := GrowRebalance(nc, nil, keys.Uint64{}, Config{})
+		if len(part) == 0 {
+			t.Errorf("joiner %d received no elements from the rebalance", nc.Rank())
+		}
+		if !IsGloballySorted(nc, part, keys.Uint64{}) {
+			t.Errorf("joiner %d: rebalanced stream not globally sorted", nc.Rank())
+		}
+		in2 := growInput(seed+1, nc.Rank(), n)
+		out2, err := Sort(nc, in2, keys.Uint64{}, Config{})
+		if err != nil {
+			return err
+		}
+		record(nc, out2)
+		return nil
+	}
+	err = w.Run(func(c *comm.Comm) error {
+		in := growInput(seed, c.Rank(), n)
+		out, err := Sort(c, in, keys.Uint64{}, Config{})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			s, serr := w.Spawn(k, joinFn)
+			if serr != nil {
+				return serr
+			}
+			spawned = s
+		}
+		nc := c.Grow(joiners)
+		part := GrowRebalance(nc, out, keys.Uint64{}, Config{})
+		if !IsGloballySorted(nc, part, keys.Uint64{}) {
+			t.Errorf("rank %d: rebalanced stream not globally sorted", nc.Rank())
+		}
+		in2 := growInput(seed+1, c.Rank(), n)
+		out2, err := Sort(nc, in2, keys.Uint64{}, Config{})
+		if err != nil {
+			return err
+		}
+		record(nc, out2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spawned.Wait(); err != nil {
+		t.Fatalf("joiners failed: %v", err)
+	}
+	return outs, w.Makespan()
+}
+
+// TestGrowMidStreamSort is the elasticity acceptance gate: after growing
+// 8 -> 12 mid-stream, the second sort's concatenated output must be sorted,
+// multiset-identical to its input, spread across all 12 ranks — and
+// bit-reproducible (partitions AND makespan) across replays.
+func TestGrowMidStreamSort(t *testing.T) {
+	const seed = 42
+	outs, mk := growRun(t, seed)
+
+	var all []uint64
+	for wr, part := range outs {
+		if len(part) == 0 {
+			t.Errorf("world rank %d holds no partition of the grown sort", wr)
+		}
+		all = append(all, part...)
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }) {
+		t.Error("concatenated grown-sort output is not sorted")
+	}
+	var want []uint64
+	for r := 0; r < 12; r++ {
+		want = append(want, growInput(seed+1, r, 2000)...)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !reflect.DeepEqual(all, want) {
+		t.Error("grown-sort output is not multiset-identical to its input")
+	}
+
+	outs2, mk2 := growRun(t, seed)
+	if !reflect.DeepEqual(outs, outs2) {
+		t.Error("grown-sort partitions differ across identical replays")
+	}
+	if mk != mk2 {
+		t.Errorf("grown-run makespan not bit-reproducible: %v vs %v", mk, mk2)
+	}
+}
+
+// TestGrowRebalanceBalancesOntoJoiners pins the flow schedule's outcome:
+// after GrowRebalance every rank — joiners included — holds its
+// front-loaded balanced share of the unchanged global order.
+func TestGrowRebalanceBalancesOntoJoiners(t *testing.T) {
+	const p, k, n = 4, 2, 900
+	w, err := comm.NewWorld(p, simnet.SuperMUC(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]uint64, p+k)
+	var mu sync.Mutex
+	var spawned *comm.Spawned
+	err = w.Run(func(c *comm.Comm) error {
+		if c.Rank() == 0 {
+			s, serr := w.Spawn(k, func(jc *comm.Comm) error {
+				nc := comm.AwaitGrow(jc, 0)
+				part := GrowRebalance(nc, nil, keys.Uint64{}, Config{})
+				mu.Lock()
+				parts[nc.Rank()] = part
+				mu.Unlock()
+				return nil
+			})
+			if serr != nil {
+				return serr
+			}
+			spawned = s
+		}
+		// Rank r holds the r-th run of the global order.
+		local := make([]uint64, n)
+		for i := range local {
+			local[i] = uint64(c.Rank()*n + i)
+		}
+		nc := c.Grow([]int{4, 5})
+		part := GrowRebalance(nc, local, keys.Uint64{}, Config{})
+		mu.Lock()
+		parts[nc.Rank()] = part
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spawned.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	total := p * n
+	base := total / (p + k)
+	var next uint64
+	for r, part := range parts {
+		want := base
+		if r < total%(p+k) {
+			want++
+		}
+		if len(part) != want {
+			t.Errorf("rank %d holds %d elements, want the balanced share %d", r, len(part), want)
+		}
+		for _, v := range part {
+			if v != next {
+				t.Fatalf("global order broken at value %d on rank %d (want %d)", v, r, next)
+			}
+			next++
+		}
+	}
+}

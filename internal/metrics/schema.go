@@ -126,6 +126,17 @@ type FaultStat struct {
 	Survivors       int   `json:"survivors,omitempty"`
 }
 
+// ElasticStat describes the world a job ran on when that world changed
+// size since construction: BaseP is the size it was built with, and
+// JoinedRanks / RemovedRanks count the ranks the grow and shrink
+// collectives added and retired over its lifetime.  The record's own P
+// field is the size the job actually used.
+type ElasticStat struct {
+	BaseP        int `json:"base_p,omitempty"`
+	JoinedRanks  int `json:"joined_ranks,omitempty"`
+	RemovedRanks int `json:"removed_ranks,omitempty"`
+}
+
 // Imbalance carries the run's load-imbalance factors (1.0 = balanced).
 type Imbalance struct {
 	Time   float64 `json:"time"`
@@ -190,6 +201,11 @@ type Record struct {
 	// TieBreak reports that the run partitioned with duplicate-key splitter
 	// tie-breaking.  OPTIONAL: omitted when false.
 	TieBreak bool `json:"tie_break,omitempty"`
+	// Elastic records that the job ran on an elastically resized persistent
+	// world (ranks joined or left between jobs).  OPTIONAL: nil for jobs on
+	// statically sized worlds, so pre-existing documents stay byte-identical
+	// (the same additive pattern as Fault).
+	Elastic *ElasticStat `json:"elastic,omitempty"`
 	// MemBudget / SpilledRuns / SpillBytes account the out-of-core path:
 	// the per-rank resident budget the record ran under and the store runs
 	// it sealed.  OPTIONAL: all omitted for resident records, so

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// AutoscaleConfig tunes the load-driven autoscaler.  The policy samples the
+// engine every Interval and steers the default world size ("the target")
+// between MinP and MaxP: sustained admission pressure grows it, a queue
+// idle past IdleTTL shrinks it back.  Warm pooled worlds are reshaped in
+// place with the Grow/Shrink collectives, so scaling never cold-starts the
+// pool.  Zero values pick the defaults in parentheses.
+type AutoscaleConfig struct {
+	Enabled       bool
+	MinP          int           // smallest target (the server's default P)
+	MaxP          int           // largest target (2 x MinP, capped at Config.MaxP)
+	Step          int           // ranks joined/removed per scale action (4)
+	GrowQueue     int           // queued jobs counted as pressure (2)
+	GrowImbalance float64       // time-imbalance factor counted as pressure (1.5)
+	Sustain       int           // consecutive pressured samples before a grow (3)
+	IdleTTL       time.Duration // continuous idle before a shrink (30s)
+	Cooldown      time.Duration // minimum spacing between scale actions (10s)
+	Interval      time.Duration // sampling period (500ms)
+}
+
+func (c AutoscaleConfig) withDefaults(base Config) AutoscaleConfig {
+	if c.MinP <= 0 {
+		c.MinP = base.P
+	}
+	if c.MaxP <= 0 {
+		c.MaxP = 2 * c.MinP
+	}
+	if c.MaxP > base.MaxP {
+		c.MaxP = base.MaxP
+	}
+	if c.MaxP < c.MinP {
+		c.MaxP = c.MinP
+	}
+	if c.Step <= 0 {
+		c.Step = 4
+	}
+	if c.GrowQueue <= 0 {
+		c.GrowQueue = 2
+	}
+	if c.GrowImbalance <= 0 {
+		c.GrowImbalance = 1.5
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = 3
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = 30 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// AutoscaleStats is the autoscaler's counter snapshot on /v1/metrics.
+// Grows/Shrinks count policy decisions (target changes); JoinedRanks,
+// RemovedRanks and the *NS totals count the collective reshape work those
+// decisions caused on warm pooled worlds.
+type AutoscaleStats struct {
+	Enabled        bool  `json:"enabled"`
+	TargetP        int   `json:"target_p"`
+	Grows          int64 `json:"grows"`
+	Shrinks        int64 `json:"shrinks"`
+	GrowNS         int64 `json:"grow_ns"`
+	ShrinkNS       int64 `json:"shrink_ns"`
+	JoinedRanks    int64 `json:"joined_ranks"`
+	RemovedRanks   int64 `json:"removed_ranks"`
+	ScaleDecisions int64 `json:"scale_decisions"`
+}
+
+// scaleSample is one observation of the engine, the policy's sole input.
+type scaleSample struct {
+	QueueLen   int     // admission queue length
+	Inflight   int     // jobs currently running
+	Imbalance  float64 // latest completed job's time-imbalance factor (0 = none yet)
+	PoolMisses int64   // cumulative pool misses (cold world builds)
+	TargetP    int     // current target world size
+}
+
+// scalePolicy turns a sample stream into scale deltas.  It is a pure state
+// machine — no clocks, no randomness — so a fixed sample sequence always
+// yields the same decision sequence, which is what makes the autoscaler
+// testable and its behavior explainable from the metrics alone.  Durations
+// are counted in samples (one per Interval).
+type scalePolicy struct {
+	cfg        AutoscaleConfig
+	pressured  int   // consecutive pressured samples
+	idleTicks  int   // consecutive fully-idle samples
+	coolTicks  int   // samples left in the post-action cooldown
+	lastMisses int64 // previous sample's cumulative miss count
+	primed     bool  // lastMisses holds a real baseline
+}
+
+// decide consumes one sample and returns the rank delta to apply to the
+// target: positive = grow, negative = shrink, zero = hold.
+func (p *scalePolicy) decide(s scaleSample) int {
+	missDelta := s.PoolMisses - p.lastMisses
+	if !p.primed {
+		missDelta, p.primed = 0, true
+	}
+	p.lastMisses = s.PoolMisses
+
+	// Pressure: a backed-up queue, skewed completions with more work
+	// waiting, or cold world builds while work is waiting.
+	pressure := s.QueueLen >= p.cfg.GrowQueue ||
+		(s.Imbalance >= p.cfg.GrowImbalance && s.QueueLen > 0) ||
+		(missDelta > 0 && s.QueueLen > 0)
+	idle := s.QueueLen == 0 && s.Inflight == 0
+	switch {
+	case pressure:
+		p.pressured++
+		p.idleTicks = 0
+	case idle:
+		p.pressured = 0
+		p.idleTicks++
+	default:
+		p.pressured = 0
+		p.idleTicks = 0
+	}
+	if p.coolTicks > 0 {
+		p.coolTicks--
+		return 0
+	}
+	if p.pressured >= p.cfg.Sustain && s.TargetP < p.cfg.MaxP {
+		p.pressured = 0
+		p.coolTicks = p.ticksOf(p.cfg.Cooldown)
+		if d := p.cfg.MaxP - s.TargetP; d < p.cfg.Step {
+			return d
+		}
+		return p.cfg.Step
+	}
+	if p.idleTicks >= p.ticksOf(p.cfg.IdleTTL) && s.TargetP > p.cfg.MinP {
+		p.idleTicks = 0
+		p.coolTicks = p.ticksOf(p.cfg.Cooldown)
+		if d := s.TargetP - p.cfg.MinP; d < p.cfg.Step {
+			return -d
+		}
+		return -p.cfg.Step
+	}
+	return 0
+}
+
+func (p *scalePolicy) ticksOf(d time.Duration) int {
+	n := int(d / p.cfg.Interval)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// autoscaler runs the policy loop for a server: sample, decide, retarget,
+// and reconcile the warm pool onto the target shape.
+type autoscaler struct {
+	s    *Server
+	cfg  AutoscaleConfig
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	target   int
+	managed  map[int]bool // every P the target has ever held
+	policy   scalePolicy
+	grows    int64
+	shrinks  int64
+	growNS   int64
+	shrinkNS int64
+	joined   int64
+	removed  int64
+	samples  int64
+}
+
+func newAutoscaler(s *Server, cfg AutoscaleConfig) *autoscaler {
+	return &autoscaler{
+		s: s, cfg: cfg,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		target:  cfg.MinP,
+		managed: map[int]bool{cfg.MinP: true},
+		policy:  scalePolicy{cfg: cfg},
+	}
+}
+
+func (a *autoscaler) loop() {
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+		}
+		a.tick()
+	}
+}
+
+// tick is one policy iteration: observe, decide, then reshape idle worlds.
+func (a *autoscaler) tick() {
+	sm := a.s.sample()
+	a.mu.Lock()
+	sm.TargetP = a.target
+	delta := a.policy.decide(sm)
+	a.samples++
+	if delta > 0 {
+		a.grows++
+		a.target += delta
+		a.managed[a.target] = true
+	} else if delta < 0 {
+		a.shrinks++
+		a.target += delta
+		a.managed[a.target] = true
+	}
+	a.mu.Unlock()
+	a.reconcile()
+}
+
+// reconcile brings idle managed worlds to the target shape with the elastic
+// collectives: worlds below the target admit joiner ranks (Grow), worlds
+// above it shed ranks through the ULFM revoke/agree/shrink path.  Only
+// shapes the target has held are touched, so explicitly-requested per-job
+// shapes keep their warm worlds.  Busy worlds are reshaped on a later tick,
+// once they come back to the shelf.
+func (a *autoscaler) reconcile() {
+	a.mu.Lock()
+	target := a.target
+	a.mu.Unlock()
+	shapes := a.s.pool.idleShapes()
+	sort.Slice(shapes, func(i, j int) bool {
+		if shapes[i].P != shapes[j].P {
+			return shapes[i].P < shapes[j].P
+		}
+		return shapes[i].Model < shapes[j].Model
+	})
+	for _, k := range shapes {
+		a.mu.Lock()
+		managed := a.managed[k.P]
+		a.mu.Unlock()
+		if k.P == target || !managed {
+			continue
+		}
+		for _, pw := range a.s.pool.takeIdle(k) {
+			start := time.Now()
+			var err error
+			if k.P < target {
+				err = pw.Grow(target - k.P)
+			} else {
+				err = pw.Shrink(k.P - target)
+			}
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				// A failed reshape either broke the world (checkin retires
+				// it) or left it intact at its old shape (re-shelved there).
+				a.s.pool.checkin(k, pw)
+				continue
+			}
+			a.mu.Lock()
+			if k.P < target {
+				a.joined += int64(target - k.P)
+				a.growNS += ns
+			} else {
+				a.removed += int64(k.P - target)
+				a.shrinkNS += ns
+			}
+			a.mu.Unlock()
+			a.s.pool.checkin(poolKey{P: target, Model: k.Model}, pw)
+		}
+	}
+}
+
+func (a *autoscaler) targetP() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.target
+}
+
+func (a *autoscaler) statsLocked() AutoscaleStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AutoscaleStats{
+		Enabled: true, TargetP: a.target,
+		Grows: a.grows, Shrinks: a.shrinks,
+		GrowNS: a.growNS, ShrinkNS: a.shrinkNS,
+		JoinedRanks: a.joined, RemovedRanks: a.removed,
+		ScaleDecisions: a.samples,
+	}
+}
+
+func (a *autoscaler) close() {
+	close(a.stop)
+	<-a.done
+}

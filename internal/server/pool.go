@@ -89,6 +89,33 @@ func (wp *worldPool) checkin(key poolKey, pw *dhsort.PersistentWorld) {
 	wp.mu.Unlock()
 }
 
+// takeIdle removes and returns every idle world shelved under key.  The
+// hit/miss counters are untouched: the autoscaler uses this to reshape warm
+// inventory, which is neither a checkout hit nor a cold build.
+func (wp *worldPool) takeIdle(key poolKey) []*dhsort.PersistentWorld {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if wp.closed {
+		return nil
+	}
+	list := wp.idle[key]
+	delete(wp.idle, key)
+	return list
+}
+
+// idleShapes lists the shapes currently holding at least one idle world.
+func (wp *worldPool) idleShapes() []poolKey {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	ks := make([]poolKey, 0, len(wp.idle))
+	for k, list := range wp.idle {
+		if len(list) > 0 {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
 func (wp *worldPool) stats() PoolStats {
 	wp.mu.Lock()
 	defer wp.mu.Unlock()

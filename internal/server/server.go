@@ -45,6 +45,8 @@ type Config struct {
 	MetricsRing  int           // per-job metrics documents retained (64)
 	WarmCap      int           // cached warm-start splitter sets (64)
 	ScratchDir   string        // root for spilled jobs' per-job run stores (os.TempDir())
+	// Autoscale enables the load-driven world-size autoscaler (off).
+	Autoscale AutoscaleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +92,7 @@ func (c Config) withDefaults() Config {
 	if c.WarmCap <= 0 {
 		c.WarmCap = 64
 	}
+	c.Autoscale = c.Autoscale.withDefaults(c)
 	return c
 }
 
@@ -178,10 +181,14 @@ type Metrics struct {
 	SpilledJobs       int64            `json:"spilled_jobs"`
 	SpilledRuns       int64            `json:"spilled_runs"`
 	SpillBytes        int64            `json:"spill_bytes"`
+	RejectedDraining  int64            `json:"rejected_draining,omitempty"`
+	Draining          bool             `json:"draining,omitempty"`
 	QueueLen          int              `json:"queue_len"`
 	QueueDepth        int              `json:"queue_depth"`
+	Inflight          int              `json:"inflight"`
 	Pool              PoolStats        `json:"pool"`
 	Warm              WarmStats        `json:"warm"`
+	Autoscale         AutoscaleStats   `json:"autoscale"`
 	Tenants           map[string]int64 `json:"tenants"`
 	Jobs              []RingEntry      `json:"jobs"`
 }
@@ -195,10 +202,15 @@ type Server struct {
 	pool   *worldPool
 	warm   *warmCache
 	quotas *quotaTable
+	scale  *autoscaler // nil unless Config.Autoscale.Enabled
 	wg     sync.WaitGroup
 
 	mu          sync.Mutex
 	closed      bool
+	draining    bool
+	inflight    int
+	lastImb     float64 // latest completed job's time-imbalance factor
+	rejDrain    int64
 	seq         int
 	jobs        map[string]*job
 	ring        []RingEntry
@@ -234,7 +246,66 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	if cfg.Autoscale.Enabled {
+		s.scale = newAutoscaler(s, cfg.Autoscale)
+		go s.scale.loop()
+	}
 	return s
+}
+
+// targetP is the world size given to jobs that don't request one: the
+// autoscaler's moving target when enabled, the static default otherwise.
+func (s *Server) targetP() int {
+	if s.scale != nil {
+		return s.scale.targetP()
+	}
+	return s.cfg.P
+}
+
+// Drain flips the server into draining: new submissions are rejected with
+// 503 + Retry-After while queued and in-flight jobs keep running, so a
+// SIGTERM'd instance can finish the work it admitted.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Quiesce blocks until the queue is empty and no job is in flight, or the
+// timeout passes; it reports whether the server fully drained.
+func (s *Server) Quiesce(timeout time.Duration) bool {
+	deadline := timeNow().Add(timeout)
+	for {
+		s.mu.Lock()
+		idle := s.inflight == 0
+		s.mu.Unlock()
+		if idle && s.queue.len() == 0 {
+			return true
+		}
+		if !timeNow().Before(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sample observes the engine for the autoscaler policy.
+func (s *Server) sample() scaleSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return scaleSample{
+		QueueLen:   s.queue.len(),
+		Inflight:   s.inflight,
+		Imbalance:  s.lastImb,
+		PoolMisses: s.pool.stats().Misses,
+	}
 }
 
 // Close drains the workers and shuts down every pooled world.  Queued jobs
@@ -243,6 +314,9 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	if s.scale != nil {
+		s.scale.close() // stop reshaping before the pool shuts down
+	}
 	s.queue.close()
 	s.wg.Wait()
 	s.pool.closeAll()
@@ -261,6 +335,15 @@ func (s *Server) Submit(tenant string, spec JobSpec) (JobStatus, error) {
 	if err := s.normalize(&spec); err != nil {
 		return JobStatus{}, err
 	}
+	s.mu.Lock()
+	if s.draining {
+		s.rejDrain++
+		s.mu.Unlock()
+		return JobStatus{}, &Reject{HTTPStatus: 503, Reason: "draining",
+			Detail:     "server is draining; resubmit elsewhere or after it restarts",
+			RetryAfter: 5}
+	}
+	s.mu.Unlock()
 	if ok, wait := s.quotas.allow(tenant); !ok {
 		s.mu.Lock()
 		s.rejQuota++
@@ -352,10 +435,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 		SpilledJobs:       s.spilledJobs,
 		SpilledRuns:       s.spilledRuns,
 		SpillBytes:        s.spillBytes,
+		RejectedDraining:  s.rejDrain,
+		Draining:          s.draining,
 		QueueLen:          s.queue.len(),
 		QueueDepth:        s.cfg.QueueDepth,
+		Inflight:          s.inflight,
 		Pool:              s.pool.stats(),
 		Warm:              s.warm.stats(),
+		Autoscale:         s.autoscaleStats(),
 		Tenants:           make(map[string]int64, len(s.tenants)),
 		Jobs:              append([]RingEntry(nil), s.ring...),
 	}
@@ -363,6 +450,13 @@ func (s *Server) MetricsSnapshot() Metrics {
 		m.Tenants[t] = n
 	}
 	return m
+}
+
+func (s *Server) autoscaleStats() AutoscaleStats {
+	if s.scale == nil {
+		return AutoscaleStats{TargetP: s.cfg.P}
+	}
+	return s.scale.statsLocked()
 }
 
 func (j *job) statusLocked() JobStatus {
@@ -442,6 +536,7 @@ type outcome struct {
 	spilledRuns int64
 	spillBytes  int64
 	makespan    time.Duration
+	timeImb     float64
 	doc         metrics.Document
 	hasDoc      bool
 }
@@ -453,6 +548,7 @@ func (s *Server) markRunning(batch []*job) {
 		j.state = StateRunning
 		j.started = now
 	}
+	s.inflight += len(batch)
 	s.mu.Unlock()
 }
 
@@ -471,6 +567,10 @@ func (s *Server) complete(j *job, oc outcome) {
 	j.spilled = oc.spilledRuns
 	j.makespan = oc.makespan
 	s.done++
+	s.inflight--
+	if oc.hasDoc {
+		s.lastImb = oc.timeImb
+	}
 	if j.spec.Spill {
 		s.spilledJobs++
 	}
@@ -492,6 +592,7 @@ func (s *Server) failJob(j *job, poolHit bool, err error) {
 	j.errMsg = err.Error()
 	j.poolHit = poolHit
 	s.failed++
+	s.inflight--
 	s.mu.Unlock()
 }
 
@@ -620,6 +721,7 @@ func (s *Server) runSingle(j *job) {
 		execErr  error
 		makespan time.Duration
 		hit      bool
+		elastic  *metrics.ElasticStat
 	)
 	if sp.Fault != "" {
 		plan, err := dhsort.ParseFaultPlan(sp.Fault)
@@ -638,6 +740,7 @@ func (s *Server) runSingle(j *job) {
 		hit = gotHit
 		execErr = pw.Execute(fn)
 		makespan = pw.Makespan()
+		elastic = elasticStatOf(pw)
 		s.pool.checkin(key, pw)
 	}
 	if execErr != nil {
@@ -684,13 +787,26 @@ func (s *Server) runSingle(j *job) {
 		summary := metrics.Summarize(live)
 		oc.spilledRuns = summary.SpilledRuns
 		oc.spillBytes = summary.SpillBytes
+		oc.timeImb = summary.TimeImbalance
 		rec := metrics.NewRecord("dhsort", p, workload.LocalSize(sp.n(), p, 0),
 			workloadName(sp), []time.Duration{makespan}, summary)
 		rec.MemBudget = sp.MemBudget
+		rec.Elastic = elastic
 		oc.doc = metrics.JobDocument(sp.Model, 16, sp.Seed, sp.Fault, rec)
 		oc.hasDoc = true
 	}
 	s.complete(j, oc)
+}
+
+// elasticStatOf captures a pooled world's elasticity history for the job's
+// metrics record: nil for worlds that never changed size, so pre-existing
+// documents stay byte-identical.
+func elasticStatOf(pw *dhsort.PersistentWorld) *metrics.ElasticStat {
+	joined, removed := pw.Joined(), pw.Removed()
+	if joined == 0 && removed == 0 {
+		return nil
+	}
+	return &metrics.ElasticStat{BaseP: pw.BaseSize(), JoinedRanks: joined, RemovedRanks: removed}
 }
 
 // runShared executes several compatible small jobs as ONE world run: every
@@ -740,6 +856,7 @@ func (s *Server) runShared(batch []*job) {
 	}
 	execErr := pw.Execute(fn)
 	makespan := pw.Makespan()
+	elastic := elasticStatOf(pw)
 	s.pool.checkin(key, pw)
 	if execErr != nil {
 		for _, j := range batch {
@@ -777,8 +894,10 @@ func (s *Server) runShared(batch []*job) {
 			makespan:  makespan,
 		}
 		if len(live) > 0 {
+			oc.timeImb = summary.TimeImbalance
 			rec := metrics.NewRecord("dhsort-batch", p, workload.LocalSize(j.spec.n(), p, 0),
 				workloadName(j.spec), []time.Duration{makespan}, summary)
+			rec.Elastic = elastic
 			oc.doc = metrics.JobDocument(j.spec.Model, 16, j.spec.Seed, "", rec)
 			oc.hasDoc = true
 		}

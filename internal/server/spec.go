@@ -133,7 +133,10 @@ func (s *Server) normalize(sp *JobSpec) error {
 			Detail: fmt.Sprintf("job of %d keys exceeds the server limit of %d", n, s.cfg.MaxN)}
 	}
 	if sp.P == 0 {
-		sp.P = s.cfg.P
+		// The autoscaler's moving target when enabled, the static default
+		// otherwise: this is where a grow decision starts steering new jobs
+		// onto the larger worlds.
+		sp.P = s.targetP()
 	}
 	if sp.P < 1 || sp.P > s.cfg.MaxP {
 		return badRequest(fmt.Sprintf("p=%d outside the accepted range [1, %d]", sp.P, s.cfg.MaxP))
